@@ -1,0 +1,72 @@
+// Ablation: the role of C_overhead (per-SIMD-sort invocation cost) in the
+// Fig. 4a "time hill".
+//
+// The paper's Ex3 sweep shows a hill between P<<1 and P<<15 whose uphill
+// is explained by N_sort * C_overhead (each of the thousands of tiny
+// second-round sorts pays a fixed function-call/allocation cost in their
+// implementation). Our implementation reuses scratch buffers and runs tiny
+// groups through insertion sort, so the measured C_overhead is tens of
+// cycles instead of thousands — and the measured optimum moves from P<<1
+// toward P<<10..15 (see fig04_ex3_sweep and EXPERIMENTS.md).
+//
+// This ablation demonstrates the mechanism with the cost model: sweeping
+// the Ex3 plans under increasing C_overhead reproduces the paper's hill
+// and moves the predicted optimum back to P<<1.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mcsort/plan/enumerate.h"
+
+int main() {
+  using namespace mcsort;
+  const uint64_t n = uint64_t{1} << 24;  // the paper's N
+  const int w1 = 17, w2 = 33;
+  std::printf("Ablation: Fig. 4a hill vs per-sort overhead (cost model, Ex3"
+              " shape,\nN = 2^24, 2^13 distinct per column).\n\n");
+
+  // Statistics from a sampled instance (distribution is what matters).
+  const uint64_t stat_rows = uint64_t{1} << 18;
+  const EncodedColumn c1 = bench::SyntheticColumn(w1, stat_rows, 81);
+  const EncodedColumn c2 = bench::SyntheticColumn(w2, stat_rows, 82);
+  std::vector<ColumnStats> storage;
+  SortInstanceStats stats = bench::StatsFor({&c1, &c2}, &storage);
+  stats.n = n;
+
+  const double overheads[] = {50, 500, 5000};
+  std::printf("%-8s %-28s", "shift", "plan");
+  for (double o : overheads) std::printf("  C_ovh=%-6.0f", o);
+  std::printf("   (estimated ms)\n");
+
+  std::vector<std::string> best(3);
+  std::vector<double> best_ms(3, 1e300);
+  for (int shift = 0; shift <= w2; ++shift) {
+    const MassagePlan plan = ShiftPlan(w1, w2, shift);
+    char label[16];
+    std::snprintf(label, sizeof(label), shift == 0 ? "P0" : "P<<%d", shift);
+    std::printf("%-8s %-28s", label, plan.ToString().c_str());
+    for (size_t o = 0; o < 3; ++o) {
+      CostParams params = CostParams::Default();
+      params.bank16.overhead = overheads[o];
+      params.bank32.overhead = overheads[o];
+      params.bank64.overhead = overheads[o];
+      const CostModel model(params);
+      const double ms = model.EstimateSeconds(plan, stats) * 1e3;
+      std::printf("  %10.1f", ms);
+      if (ms < best_ms[o]) {
+        best_ms[o] = ms;
+        best[o] = label;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\npredicted optimum: C_ovh=50 -> %s; C_ovh=500 -> %s; "
+              "C_ovh=5000 -> %s\n",
+              best[0].c_str(), best[1].c_str(), best[2].c_str());
+  std::printf("paper's implementation (per-call allocation) behaves like "
+              "the large-\noverhead column: optimum P<<1 with a hill to "
+              "P<<15; ours like the small-\noverhead column: the hill "
+              "flattens and deeper shifts win.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: SIMD merge-sort vs LSD radix sort as the per-round kernel of
+// multi-column sorting (the paper's Sec. 7 future work: "code massaging
+// would allow a careful choice of the radix size when radix-sorting
+// multiple columns, thereby improving the performance ... with a different
+// flavor").
+//
+// Radix cost scales with ceil(width / radix_bits) *digit passes* while the
+// merge-sort cost scales with the bank (16/32/64) and log N — so the two
+// kernels favour different massage plans: for radix, a plan that trims a
+// round's width below a digit boundary (e.g. 17 -> 16 bits under 8-bit
+// digits) drops a whole pass.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mcsort;
+  const uint64_t n = bench::EnvRows();
+  std::printf("Ablation: merge-sort vs radix kernel; N = %llu rows.\n\n",
+              static_cast<unsigned long long>(n));
+
+  struct Case {
+    int w1, w2;
+    std::vector<std::vector<int>> plans;
+  };
+  const std::vector<Case> cases = {
+      // Ex1-style narrow pair; note 17 bits = 3 radix passes, 16 = 2.
+      {10, 17, {{10, 17}, {27}, {11, 16}}},
+      // Ex3: the paper's sweep instance.
+      {17, 33, {{17, 33}, {18, 32}, {25, 25}, {50}}},
+      // Wide pair (Ex4): radix pays many passes on 48-bit rounds.
+      {48, 48, {{48, 48}, {32, 32, 32}}},
+  };
+
+  for (const Case& c : cases) {
+    bench::Header(std::to_string(c.w1) + "-bit + " + std::to_string(c.w2) +
+                  "-bit columns");
+    const EncodedColumn c1 = bench::SyntheticColumn(c.w1, n, 71);
+    const EncodedColumn c2 = bench::SyntheticColumn(c.w2, n, 72);
+    std::vector<MassageInput> inputs = {{&c1, SortOrder::kAscending},
+                                        {&c2, SortOrder::kAscending}};
+    MultiColumnSorter merge_sorter(nullptr, SortKernel::kSimdMerge);
+    MultiColumnSorter radix_sorter(nullptr, SortKernel::kRadix);
+    std::printf("%-34s %12s %12s %10s\n", "plan", "merge(ms)", "radix(ms)",
+                "radix/merge");
+    for (const auto& widths : c.plans) {
+      const MassagePlan plan = MassagePlan::WithMinimalBanks(widths);
+      const double merge_s =
+          bench::MeasurePlan(inputs, plan, bench::EnvReps(), &merge_sorter)
+              .total_seconds();
+      const double radix_s =
+          bench::MeasurePlan(inputs, plan, bench::EnvReps(), &radix_sorter)
+              .total_seconds();
+      std::printf("%-34s %12s %12s %9.2fx\n", plan.ToString().c_str(),
+                  bench::Ms(merge_s).c_str(), bench::Ms(radix_s).c_str(),
+                  merge_s > 0 ? radix_s / merge_s : 0);
+    }
+  }
+  std::printf("\nexpected shape: radix wins on narrow rounds (few digit\n"
+              "passes) and on plans whose rounds end at digit boundaries;\n"
+              "merge-sort wins on wide 64-bit-bank rounds at small-ish N.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Plan explorer: give it column widths (and optionally a row count /
+// distinct counts) and it prints the cost model's view of the plan space —
+// the column-at-a-time baseline, the stitch-all plan, the ROGA choice, and
+// the RRS choice — like reading Fig. 4a for your own sort instance.
+//
+//   ./example_plan_explorer 17 33
+//   ./example_plan_explorer 12 17 9 --rows=16777216 --distinct=8192
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/cost/calibration.h"
+#include "mcsort/plan/enumerate.h"
+#include "mcsort/plan/roga.h"
+#include "mcsort/plan/rrs.h"
+#include "mcsort/storage/column.h"
+
+using namespace mcsort;
+
+int main(int argc, char** argv) {
+  std::vector<int> widths;
+  uint64_t rows = uint64_t{1} << 22;
+  uint64_t distinct = uint64_t{1} << 13;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--distinct=", 11) == 0) {
+      distinct = static_cast<uint64_t>(std::atoll(argv[i] + 11));
+    } else {
+      widths.push_back(std::atoi(argv[i]));
+    }
+  }
+  if (widths.empty()) widths = {17, 33};  // the paper's Ex3
+  for (int w : widths) {
+    if (w < 1 || w > 64) {
+      std::fprintf(stderr, "column widths must be in [1, 64]\n");
+      return 1;
+    }
+  }
+
+  // Synthesize columns with the requested shape to derive statistics.
+  std::vector<EncodedColumn> columns;
+  const uint64_t stat_rows = std::min<uint64_t>(rows, 1 << 18);
+  Rng rng(99);
+  for (int w : widths) {
+    EncodedColumn col(w, stat_rows);
+    const uint64_t domain = LowBitsMask(w) + 1;
+    const uint64_t d = std::min(distinct, domain);
+    for (uint64_t i = 0; i < stat_rows; ++i) {
+      Code v = rng.NextBounded(d);
+      if (d < domain) v *= domain / d;
+      col.Set(i, v);
+    }
+    columns.push_back(std::move(col));
+  }
+  std::vector<ColumnStats> stats_storage;
+  for (const auto& c : columns) stats_storage.push_back(ColumnStats::Build(c));
+  SortInstanceStats stats;
+  stats.n = rows;
+  for (const auto& s : stats_storage) stats.columns.push_back(&s);
+
+  std::printf("instance: %zu columns, W = %d bits, N = %llu rows, ~%llu "
+              "distinct/column\n",
+              widths.size(), stats.total_width(),
+              static_cast<unsigned long long>(rows),
+              static_cast<unsigned long long>(distinct));
+  std::printf("calibrating the cost model on this machine...\n");
+  const CostParams& params = CalibratedParams();
+  const CostModel model(params);
+
+  const auto show = [&](const char* label, const MassagePlan& plan) {
+    std::printf("%-16s %-40s est %8.2f ms\n", label,
+                plan.ToString().c_str(),
+                model.EstimateSeconds(plan, stats) * 1e3);
+  };
+
+  show("column-at-a-time", MassagePlan::ColumnAtATime(widths));
+  if (stats.total_width() <= kMaxBankBits) {
+    show("stitch-all", MassagePlan::WithMinimalBanks({stats.total_width()}));
+  }
+
+  const SearchResult roga = RogaSearch(model, stats);
+  show("ROGA choice", roga.plan);
+  std::printf("%-16s searched %zu plans in %.3f ms%s\n", "",
+              roga.plans_costed, roga.search_seconds * 1e3,
+              roga.timed_out ? " (deadline)" : "");
+
+  RrsOptions rrs_options;
+  rrs_options.budget_seconds = std::max(roga.search_seconds, 1e-3);
+  const SearchResult rrs = RrsSearch(model, stats, rrs_options);
+  show("RRS choice", rrs.plan);
+
+  // For two-column instances, print the Fig. 4a-style shift sweep.
+  if (widths.size() == 2) {
+    std::printf("\nshift sweep (Fig. 4a view):\n");
+    for (int shift = -(widths[0] - 1); shift < widths[1]; ++shift) {
+      if (widths[0] + widths[1] > kMaxBankBits &&
+          (widths[0] + shift > kMaxBankBits ||
+           widths[1] - shift > kMaxBankBits)) {
+        continue;
+      }
+      const MassagePlan plan = ShiftPlan(widths[0], widths[1], shift);
+      char label[16];
+      std::snprintf(label, sizeof(label), "%s%d", shift >= 0 ? "<<" : ">>",
+                    shift >= 0 ? shift : -shift);
+      std::printf("  P%-6s %-40s est %8.2f ms\n", label,
+                  plan.ToString().c_str(),
+                  model.EstimateSeconds(plan, stats) * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: sort a small table on two columns with code massaging.
+//
+// Walks the paper's running example (Fig. 2): a GROUP BY on
+// (nation_name, ship_date) executed as a multi-column sort, first
+// column-at-a-time (the state of the art), then with the two columns
+// stitched into one massaged sort key (Fig. 2b) — and shows that the
+// resulting order and groups are identical (Lemma 1).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mcsort/engine/multi_column_sorter.h"
+#include "mcsort/massage/plan.h"
+#include "mcsort/storage/dictionary.h"
+
+using namespace mcsort;
+
+int main() {
+  // 1. Encode native values as order-preserving fixed-width codes.
+  //    Strings use a sorted dictionary; dates here are already integers.
+  const std::vector<std::string> nations = {"USA", "AUS", "AUS",
+                                            "USA", "AUS", "FRA"};
+  const std::vector<int64_t> ship_dates = {301, 501, 1201, 301, 501, 415};
+
+  EncodedStringColumn nation = EncodeStrings(nations);
+  DenseEncoding date = EncodeDense(ship_dates);
+  std::printf("nation_name encoded: %zu distinct values -> %d-bit codes\n",
+              nation.dictionary.size(), nation.codes.width());
+  std::printf("ship_date   encoded: %zu distinct values -> %d-bit codes\n",
+              date.dictionary.size(), date.codes.width());
+
+  // 2. The multi-column sort instance: ORDER BY nation_name, ship_date.
+  const std::vector<MassageInput> inputs = {
+      {&nation.codes, SortOrder::kAscending},
+      {&date.codes, SortOrder::kAscending},
+  };
+
+  MultiColumnSorter sorter;
+
+  // 3a. Column-at-a-time (paper Fig. 2a): one round of sorting per column.
+  MultiColumnSortResult baseline = sorter.SortColumnAtATime(inputs);
+
+  // 3b. Code massaging (paper Fig. 2b): stitch both columns into a single
+  //     sort key and sort once.
+  const int total_width = nation.codes.width() + date.codes.width();
+  MassagePlan stitched = MassagePlan::WithMinimalBanks({total_width});
+  MultiColumnSortResult massaged = sorter.Sort(inputs, stitched);
+
+  // 4. Identical results (Lemma 1): same tuple order, same groups.
+  std::printf("\nsorted output (%zu groups either way):\n",
+              massaged.groups.count());
+  std::printf("%-4s %-8s %-10s %s\n", "row", "nation", "ship_date", "group");
+  for (size_t g = 0; g < massaged.groups.count(); ++g) {
+    for (uint32_t r = massaged.groups.begin(g); r < massaged.groups.end(g);
+         ++r) {
+      const Oid oid = massaged.oids[r];
+      std::printf("%-4u %-8s %-10lld %zu\n", r,
+                  nation.dictionary.Decode(nation.codes.Get(oid)).c_str(),
+                  static_cast<long long>(
+                      date.dictionary[date.codes.Get(oid)]),
+                  g);
+    }
+  }
+  bool same = baseline.groups.bounds == massaged.groups.bounds;
+  for (size_t r = 0; same && r < massaged.oids.size(); ++r) {
+    // Tuples must match row for row (oids may differ within tied rows).
+    const Oid a = baseline.oids[r];
+    const Oid b = massaged.oids[r];
+    same = nation.codes.Get(a) == nation.codes.Get(b) &&
+           date.codes.Get(a) == date.codes.Get(b);
+  }
+  std::printf("\ncolumn-at-a-time (%zu rounds) and stitched (1 round) agree:"
+              " %s\n",
+              baseline.rounds.size(), same ? "yes" : "NO (bug!)");
+  return same ? 0 : 1;
+}

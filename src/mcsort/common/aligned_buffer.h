@@ -1,0 +1,109 @@
+// Cache-line / SIMD aligned heap buffer.
+//
+// The SIMD kernels use aligned 256-bit loads/stores; all bulk arrays in the
+// sort and massage paths are allocated through AlignedBuffer so that the
+// kernels never have to handle unaligned heads/tails for the key arrays.
+#ifndef MCSORT_COMMON_ALIGNED_BUFFER_H_
+#define MCSORT_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+inline constexpr size_t kSimdAlignment = 64;  // one cache line, >= 32B AVX2
+
+// A movable, non-copyable aligned array of trivially copyable T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t n) { Reset(n); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  // Discards contents and makes room for `n` elements (uninitialized).
+  // Reuses the existing allocation when it is large enough, so repeated
+  // Reset calls in per-round loops do not thrash the allocator.
+  void Reset(size_t n) {
+    if (n <= capacity_) {
+      size_ = n;
+      return;
+    }
+    Free();
+    if (n == 0) return;
+    size_t bytes = RoundUpBytes(n * sizeof(T));
+    data_ = static_cast<T*>(std::aligned_alloc(kSimdAlignment, bytes));
+    MCSORT_CHECK(data_ != nullptr);
+    size_ = n;
+    capacity_ = n;
+  }
+
+  // Ensures capacity for at least `n` elements, discarding contents on grow.
+  void EnsureDiscard(size_t n) {
+    if (n > size_) Reset(n);
+  }
+
+  void Fill(const T& value) {
+    for (size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) {
+    MCSORT_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    MCSORT_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  static size_t RoundUpBytes(size_t bytes) {
+    return (bytes + kSimdAlignment - 1) / kSimdAlignment * kSimdAlignment;
+  }
+
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,81 @@
+#include "mcsort/common/cpu_info.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace mcsort {
+namespace {
+
+// Reads a sysfs cache size file of the form "256K" / "25600K" / "2M".
+bool ReadCacheSize(const char* path, size_t* out_bytes) {
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buf[64] = {0};
+  const bool ok = std::fgets(buf, sizeof(buf), f) != nullptr;
+  std::fclose(f);
+  if (!ok) return false;
+  char unit = 0;
+  unsigned long long value = 0;
+  if (std::sscanf(buf, "%llu%c", &value, &unit) < 1) return false;
+  size_t bytes = value;
+  if (unit == 'K' || unit == 'k') bytes *= 1024;
+  if (unit == 'M' || unit == 'm') bytes *= 1024 * 1024;
+  *out_bytes = bytes;
+  return true;
+}
+
+// Reads the highest-index cache level for cpu0 as the LLC.
+void DetectCaches(CpuInfo* info) {
+  size_t bytes = 0;
+  if (ReadCacheSize("/sys/devices/system/cpu/cpu0/cache/index0/size", &bytes))
+    info->l1d_bytes = bytes;
+  if (ReadCacheSize("/sys/devices/system/cpu/cpu0/cache/index2/size", &bytes))
+    info->l2_bytes = bytes;
+  // Probe upward for the last level present.
+  for (int idx = 3; idx <= 5; ++idx) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu0/cache/index%d/size", idx);
+    if (ReadCacheSize(path, &bytes)) info->llc_bytes = bytes;
+  }
+  if (info->llc_bytes < info->l2_bytes) info->llc_bytes = info->l2_bytes;
+}
+
+void DetectFrequency(CpuInfo* info) {
+  // Parse "model name ... @ 2.10GHz" from /proc/cpuinfo.
+  FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* at = std::strchr(line, '@');
+    if (at != nullptr) {
+      double ghz = 0.0;
+      if (std::sscanf(at + 1, "%lf", &ghz) == 1 && ghz > 0.1 && ghz < 10.0) {
+        info->ghz = ghz;
+      }
+    }
+    break;
+  }
+  std::fclose(f);
+}
+
+CpuInfo Detect() {
+  CpuInfo info;
+  DetectCaches(&info);
+  DetectFrequency(&info);
+  const unsigned hw = std::thread::hardware_concurrency();
+  info.num_cores = hw == 0 ? 1 : static_cast<int>(hw);
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& CpuInfo::Get() {
+  static const CpuInfo kInfo = Detect();
+  return kInfo;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,33 @@
+// Hardware parameters feeding the architectural cost model (Sec. 4):
+// cache sizes (M_L2, M_LLC), SIMD register width S, nominal frequency.
+//
+// Detected once at startup from sysfs/procfs on Linux, with conservative
+// defaults if detection fails. All cost-model constants are *calibrated* on
+// top of these (the paper's approach), so mild detection error is absorbed.
+#ifndef MCSORT_COMMON_CPU_INFO_H_
+#define MCSORT_COMMON_CPU_INFO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcsort {
+
+struct CpuInfo {
+  // SIMD register width in bits (AVX2).
+  int simd_bits = 256;
+  // Cache capacities in bytes.
+  size_t l1d_bytes = 32 * 1024;
+  size_t l2_bytes = 256 * 1024;
+  size_t llc_bytes = 8 * 1024 * 1024;
+  // Nominal frequency in GHz (cycles per ns), for cycle-denominated costs.
+  double ghz = 2.0;
+  // Number of online logical cores.
+  int num_cores = 1;
+
+  // Singleton accessor; detection runs on first call.
+  static const CpuInfo& Get();
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_CPU_INFO_H_

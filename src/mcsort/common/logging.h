@@ -1,0 +1,44 @@
+// Minimal CHECK/LOG facilities.
+//
+// The library does not use C++ exceptions; invariant violations are
+// programming errors and abort the process with a diagnostic. This mirrors
+// the error-handling stance of the paper's prototype (a research
+// column-store, not a fault-tolerant server).
+#ifndef MCSORT_COMMON_LOGGING_H_
+#define MCSORT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcsort {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "MCSORT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mcsort
+
+// Always-on invariant check (enabled in release builds too: the cost of the
+// checks we write is negligible relative to the data passes they guard).
+#define MCSORT_CHECK(expr)                                          \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::mcsort::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                               \
+  } while (0)
+
+// Debug-only check for per-element hot loops.
+#ifdef NDEBUG
+#define MCSORT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define MCSORT_DCHECK(expr) MCSORT_CHECK(expr)
+#endif
+
+#endif  // MCSORT_COMMON_LOGGING_H_

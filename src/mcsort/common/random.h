@@ -1,0 +1,70 @@
+// Deterministic, fast PRNG used by data generators, calibration, and RRS.
+//
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+// splitmix64. Deterministic across platforms so that tests and benchmark
+// datasets are reproducible.
+#ifndef MCSORT_COMMON_RANDOM_H_
+#define MCSORT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace mcsort {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the four-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound) for bound >= 1 (Lemire reduction).
+  uint64_t NextBounded(uint64_t bound) {
+    // 128-bit multiply keeps the distribution unbiased enough for our use
+    // (generator inputs and randomized search), without a rejection loop.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#include "mcsort/common/thread_pool.h"
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  MCSORT_CHECK(num_threads >= 1);
+  if (num_threads_ == 1) return;  // inline execution, no workers
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, const std::function<void(uint64_t, uint64_t, int)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n < static_cast<uint64_t>(num_threads_)) {
+    body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    pending_ = num_threads_;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(uint64_t, uint64_t, int)>* body;
+    uint64_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+      n = n_;
+    }
+    // Balanced contiguous slices: the first (n % T) slices get one extra.
+    const uint64_t threads = static_cast<uint64_t>(num_threads_);
+    const uint64_t base = n / threads;
+    const uint64_t extra = n % threads;
+    const uint64_t idx = static_cast<uint64_t>(index);
+    const uint64_t begin = idx * base + (idx < extra ? idx : extra);
+    const uint64_t end = begin + base + (idx < extra ? 1 : 0);
+    if (begin < end) (*body)(begin, end, index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mcsort

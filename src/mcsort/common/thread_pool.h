@@ -1,0 +1,57 @@
+// Minimal fork-join thread pool used by the multithreaded massage and sort
+// paths (Sec. 3 "code massaging can easily support multi-threading" and the
+// Fig. 10 core-scaling experiment).
+//
+// The pool runs exactly `num_threads` persistent workers; ParallelFor splits
+// [0, n) into contiguous chunks, one per worker, and joins. With
+// num_threads == 1 all work runs inline on the caller (no pool started), so
+// single-threaded benchmarks measure no synchronization overhead.
+#ifndef MCSORT_COMMON_THREAD_POOL_H_
+#define MCSORT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsort {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs body(begin, end, worker_index) on each worker for its contiguous
+  // slice of [0, n); blocks until all slices complete. Slices are balanced
+  // to within one element.
+  void ParallelFor(
+      uint64_t n,
+      const std::function<void(uint64_t, uint64_t, int)>& body);
+
+ private:
+  void WorkerLoop(int index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Generation counter: bumping it releases all workers for one round.
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(uint64_t, uint64_t, int)>* body_ = nullptr;
+  uint64_t n_ = 0;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+#include "mcsort/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  MCSORT_CHECK(n >= 1);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace mcsort

@@ -1,0 +1,36 @@
+// Zipfian value generator for the TPC-H *skew* workload (Chaudhuri &
+// Narasayya skewed dbgen uses zipf factor z = 1; Sec. 6 of the paper).
+//
+// Draws values in [0, n) with P(rank k) proportional to 1/(k+1)^z.
+#ifndef MCSORT_COMMON_ZIPF_H_
+#define MCSORT_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/common/random.h"
+
+namespace mcsort {
+
+class ZipfGenerator {
+ public:
+  // `n` is the number of distinct ranks, `theta` the skew (z); theta == 0
+  // degenerates to uniform. Build cost is O(n) once.
+  ZipfGenerator(uint64_t n, double theta);
+
+  // Draws a rank in [0, n) (rank 0 is the most frequent).
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  // Cumulative distribution over ranks; binary-searched per draw.
+  std::vector<double> cdf_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_ZIPF_H_

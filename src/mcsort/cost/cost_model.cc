@@ -1,0 +1,134 @@
+#include "mcsort/cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+#include "mcsort/massage/fip.h"
+
+namespace mcsort {
+
+SortInstanceStats SortInstanceStats::Permuted(
+    const std::vector<int>& order) const {
+  MCSORT_CHECK(order.size() == columns.size());
+  SortInstanceStats permuted;
+  permuted.n = n;
+  permuted.columns.reserve(columns.size());
+  for (int idx : order) {
+    permuted.columns.push_back(columns[static_cast<size_t>(idx)]);
+  }
+  return permuted;
+}
+
+double CostModel::CompositeDistinct(const SortInstanceStats& stats,
+                                    int bits) const {
+  // Product of per-column (partial-)prefix distinct counts, assuming
+  // column independence; capped to avoid overflow (the balls-into-bins
+  // step saturates at N long before the cap matters).
+  constexpr double kCap = 1e18;
+  double product = 1.0;
+  int remaining = bits;
+  for (const ColumnStats* column : stats.columns) {
+    if (remaining <= 0) break;
+    const int take = std::min(column->width(), remaining);
+    product *= std::max(1.0, column->EstimateDistinctPrefixes(take));
+    remaining -= take;
+    if (product > kCap) return kCap;
+  }
+  return product;
+}
+
+CostModel::GroupShape CostModel::EstimateGroups(uint64_t n,
+                                                double prefix_distinct) const {
+  GroupShape shape;
+  const double rows = static_cast<double>(n);
+  if (prefix_distinct <= 1.0) {
+    // Single group covering everything (round 1).
+    shape.n_group = 1.0;
+    shape.n_sort = rows > 1 ? 1.0 : 0.0;
+    shape.rows_to_sort = rows;
+    shape.avg_group_size = rows;
+    return shape;
+  }
+  const double cells = prefix_distinct;
+  // Balls into bins over the composite prefix domain.
+  shape.n_group = ExpectedOccupiedCells(cells, rows);
+  const double log_miss = (rows - 1.0) * std::log1p(-1.0 / cells);
+  const double singletons = rows * std::exp(log_miss);
+  shape.n_sort = std::max(0.0, shape.n_group - singletons);
+  shape.rows_to_sort = std::max(0.0, rows - singletons);
+  shape.avg_group_size =
+      shape.n_sort > 0.5 ? shape.rows_to_sort / shape.n_sort : 0.0;
+  return shape;
+}
+
+double CostModel::SortCycles(const GroupShape& shape, int bank) const {
+  const BankSortParams& p = params_.bank(bank);
+  if (shape.n_sort < 0.5) return 0.0;
+  // Out-of-cache passes for an average-size group (Eq. 8), >= 0.
+  const double group_bytes = shape.avg_group_size * bank / 8.0;
+  const double half_l2 = 0.5 * static_cast<double>(params_.l2_bytes);
+  double passes = 0.0;
+  if (group_bytes > half_l2) {
+    passes = std::ceil(std::log(group_bytes / half_l2) /
+                       std::log(static_cast<double>(params_.merge_fanout)));
+    passes = std::max(passes, 0.0);
+  }
+  return shape.n_sort * p.overhead +
+         shape.rows_to_sort * (p.sort_network + p.in_cache_merge) +
+         shape.rows_to_sort * p.out_of_cache_merge * passes;
+}
+
+double CostModel::LookupCycles(uint64_t n, int width) const {
+  if (n == 0) return 0.0;
+  const double footprint =
+      static_cast<double>(n) * static_cast<double>(SizeOfWidth(width));
+  const double hit = std::min(
+      1.0, static_cast<double>(params_.llc_bytes) / footprint);
+  return static_cast<double>(n) *
+         (params_.cache_cycles * hit + params_.mem_cycles * (1.0 - hit));
+}
+
+double CostModel::NextRoundSortCycles(const SortInstanceStats& stats,
+                                      int prefix_bits, int bank) const {
+  const GroupShape shape =
+      EstimateGroups(stats.n, CompositeDistinct(stats, prefix_bits));
+  return SortCycles(shape, bank);
+}
+
+CostModel::PlanEstimate CostModel::Estimate(
+    const MassagePlan& plan, const SortInstanceStats& stats) const {
+  MCSORT_CHECK(plan.IsValid());
+  MCSORT_CHECK(plan.total_width() == stats.total_width());
+  PlanEstimate estimate;
+
+  // T_massage (Eq. 4).
+  const int fips = CountFipInvocations(stats.widths(), plan.widths());
+  estimate.t_massage =
+      static_cast<double>(fips) * params_.massage_cycles *
+      static_cast<double>(stats.n);
+  estimate.total_cycles = estimate.t_massage;
+
+  int prefix_bits = 0;
+  for (size_t j = 0; j < plan.num_rounds(); ++j) {
+    const Round& round = plan.round(j);
+    RoundEstimate re;
+    const GroupShape entering =
+        EstimateGroups(stats.n, CompositeDistinct(stats, prefix_bits));
+    re.n_sort = entering.n_sort;
+    re.rows_to_sort = entering.rows_to_sort;
+    re.avg_group_size = entering.avg_group_size;
+    re.t_sort = SortCycles(entering, round.bank);
+    if (j > 0) re.t_lookup = LookupCycles(stats.n, round.width);
+    re.t_scan = params_.scan_cycles * static_cast<double>(stats.n);
+    prefix_bits += round.width;
+    re.n_group = EstimateGroups(stats.n, CompositeDistinct(stats, prefix_bits))
+                     .n_group;
+    estimate.total_cycles += re.t_lookup + re.t_sort + re.t_scan;
+    estimate.rounds.push_back(re);
+  }
+  return estimate;
+}
+
+}  // namespace mcsort

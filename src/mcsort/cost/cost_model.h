@@ -1,0 +1,117 @@
+// The architectural cost model of Sec. 4: estimates T_mcs, the CPU time of
+// a multi-column sorting instance under a given code massage plan, from
+// basic statistics (row count, column widths, value distributions).
+//
+//   T_mcs = T_massage + sum over rounds of (T_lookup + T_sort^k + T_scan)
+//
+//   T_lookup  (Eq. 3): N random accesses under a modeled cache hit ratio
+//                      M_LLC / (N * size(w)).
+//   T_massage (Eq. 4): I_FIP * C_massage * N.
+//   T_sort^k  (Eq. 1): N_sort invocations of a b-bit SIMD merge-sort, each
+//                      costed by Eqs. 2 and 5-8.
+//   T_scan    (Eq. 9): one sequential pass.
+//
+// Group structure per round (N_group, N_sort, average group size) is
+// estimated from per-column distinct/histogram statistics: the bit prefix
+// sorted before round k determines the expected number of tied groups via
+// a balls-into-bins model over the composite prefix domain.
+#ifndef MCSORT_COST_COST_MODEL_H_
+#define MCSORT_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/cost/params.h"
+#include "mcsort/massage/plan.h"
+#include "mcsort/storage/statistics.h"
+
+namespace mcsort {
+
+// One multi-column sorting problem instance, described by statistics only.
+struct SortInstanceStats {
+  uint64_t n = 0;
+  // Per input column (most significant first). Pointers are borrowed.
+  std::vector<const ColumnStats*> columns;
+
+  std::vector<int> widths() const {
+    std::vector<int> w;
+    w.reserve(columns.size());
+    for (const ColumnStats* c : columns) w.push_back(c->width());
+    return w;
+  }
+  int total_width() const {
+    int total = 0;
+    for (const ColumnStats* c : columns) total += c->width();
+    return total;
+  }
+  // The instance with its columns permuted (GROUP BY / PARTITION BY plan
+  // search explores column orders).
+  SortInstanceStats Permuted(const std::vector<int>& order) const;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostParams& params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  struct RoundEstimate {
+    double n_group = 0;        // groups after this round
+    double n_sort = 0;         // SIMD-sort invocations in this round
+    double rows_to_sort = 0;   // rows inside non-singleton groups
+    double avg_group_size = 0; // N̄_code entering this round's sorts
+    double t_lookup = 0;       // cycles (0 for the first round)
+    double t_sort = 0;         // cycles
+    double t_scan = 0;         // cycles
+  };
+  struct PlanEstimate {
+    double t_massage = 0;  // cycles
+    std::vector<RoundEstimate> rounds;
+    double total_cycles = 0;
+  };
+
+  // Full estimate of plan `plan` on `stats` (plan width must equal the
+  // instance width).
+  PlanEstimate Estimate(const MassagePlan& plan,
+                        const SortInstanceStats& stats) const;
+  double EstimateCycles(const MassagePlan& plan,
+                        const SortInstanceStats& stats) const {
+    return Estimate(plan, stats).total_cycles;
+  }
+  double EstimateSeconds(const MassagePlan& plan,
+                         const SortInstanceStats& stats) const {
+    return EstimateCycles(plan, stats) / (params_.ghz * 1e9);
+  }
+
+  // T_sort of the round that would *follow* a sorted prefix of
+  // `prefix_bits` bits, when executed with `bank`-bit banks — the greedy
+  // criterion of Algorithm 1 line 11 (it does not depend on how many bits
+  // that next round itself carries).
+  double NextRoundSortCycles(const SortInstanceStats& stats, int prefix_bits,
+                             int bank) const;
+
+  // Expected number of distinct values of the leading `bits` bits of the
+  // concatenated key (composite across columns, independence assumed).
+  double CompositeDistinct(const SortInstanceStats& stats, int bits) const;
+
+ private:
+  struct GroupShape {
+    double n_group;
+    double n_sort;
+    double rows_to_sort;
+    double avg_group_size;
+  };
+  // Group structure among N rows given the distinct count of the sorted
+  // prefix (balls-into-bins).
+  GroupShape EstimateGroups(uint64_t n, double prefix_distinct) const;
+  // T_sort^k: cost of sorting `shape` with bank `bank` (Eqs. 1-2, 5-8).
+  double SortCycles(const GroupShape& shape, int bank) const;
+  // T_lookup for reordering a w-bit column of N codes (Eq. 3).
+  double LookupCycles(uint64_t n, int width) const;
+
+  CostParams params_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COST_COST_MODEL_H_

@@ -1,0 +1,60 @@
+#include "mcsort/cost/linear_solver.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+std::vector<double> SolveLeastSquares(const std::vector<std::vector<double>>& a,
+                                      const std::vector<double>& b) {
+  MCSORT_CHECK(!a.empty());
+  MCSORT_CHECK(a.size() == b.size());
+  const size_t rows = a.size();
+  const size_t cols = a[0].size();
+  MCSORT_CHECK(rows >= cols);
+
+  // Normal equations: (A^T A + ridge*I) x = A^T b.
+  std::vector<std::vector<double>> ata(cols, std::vector<double>(cols, 0.0));
+  std::vector<double> atb(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    MCSORT_CHECK(a[r].size() == cols);
+    for (size_t i = 0; i < cols; ++i) {
+      atb[i] += a[r][i] * b[r];
+      for (size_t j = 0; j < cols; ++j) {
+        ata[i][j] += a[r][i] * a[r][j];
+      }
+    }
+  }
+  // Ridge scaled to the matrix magnitude keeps near-collinear systems
+  // (e.g. jointly-calibrated per-code constants) well conditioned.
+  double trace = 0.0;
+  for (size_t i = 0; i < cols; ++i) trace += ata[i][i];
+  const double ridge = 1e-9 * (trace / static_cast<double>(cols) + 1.0);
+  for (size_t i = 0; i < cols; ++i) ata[i][i] += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> x = atb;
+  for (size_t col = 0; col < cols; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < cols; ++r) {
+      if (std::fabs(ata[r][col]) > std::fabs(ata[pivot][col])) pivot = r;
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(x[col], x[pivot]);
+    MCSORT_CHECK(std::fabs(ata[col][col]) > 0.0);
+    for (size_t r = col + 1; r < cols; ++r) {
+      const double factor = ata[r][col] / ata[col][col];
+      for (size_t j = col; j < cols; ++j) ata[r][j] -= factor * ata[col][j];
+      x[r] -= factor * x[col];
+    }
+  }
+  for (size_t col = cols; col-- > 0;) {
+    for (size_t j = col + 1; j < cols; ++j) x[col] -= ata[col][j] * x[j];
+    x[col] /= ata[col][col];
+  }
+  return x;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,20 @@
+// Small dense least-squares solver used by the calibration procedures
+// (Sec. 4 solves the calibrated constants "as a linear system"; with more
+// observations than unknowns we fit by least squares, the alternative the
+// paper itself suggests).
+#ifndef MCSORT_COST_LINEAR_SOLVER_H_
+#define MCSORT_COST_LINEAR_SOLVER_H_
+
+#include <vector>
+
+namespace mcsort {
+
+// Solves min_x ||A x - b||_2 for a dense row-major A (rows x cols,
+// rows >= cols) via the normal equations with a tiny ridge term for
+// numerical stability. Returns the coefficient vector (size cols).
+std::vector<double> SolveLeastSquares(const std::vector<std::vector<double>>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COST_LINEAR_SOLVER_H_

@@ -1,0 +1,69 @@
+#include "mcsort/engine/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+AggregateResult AggregateGroups(AggOp op, const EncodedColumn& measure,
+                                int64_t base, const Segments& groups) {
+  if (op == AggOp::kCount) return CountGroups(groups);
+  AggregateResult result;
+  result.op = op;
+  const size_t g = groups.count();
+  result.values.reserve(g);
+  if (op == AggOp::kAvg) result.avg.reserve(g);
+  for (size_t i = 0; i < g; ++i) {
+    const uint32_t begin = groups.begin(i);
+    const uint32_t end = groups.end(i);
+    MCSORT_DCHECK(end <= measure.size());
+    switch (op) {
+      case AggOp::kSum:
+      case AggOp::kAvg: {
+        int64_t sum = 0;
+        for (uint32_t r = begin; r < end; ++r) {
+          sum += base + static_cast<int64_t>(measure.Get(r));
+        }
+        result.values.push_back(sum);
+        if (op == AggOp::kAvg) {
+          result.avg.push_back(static_cast<double>(sum) /
+                               static_cast<double>(end - begin));
+        }
+        break;
+      }
+      case AggOp::kMin: {
+        int64_t best = std::numeric_limits<int64_t>::max();
+        for (uint32_t r = begin; r < end; ++r) {
+          best = std::min(best, base + static_cast<int64_t>(measure.Get(r)));
+        }
+        result.values.push_back(best);
+        break;
+      }
+      case AggOp::kMax: {
+        int64_t best = std::numeric_limits<int64_t>::min();
+        for (uint32_t r = begin; r < end; ++r) {
+          best = std::max(best, base + static_cast<int64_t>(measure.Get(r)));
+        }
+        result.values.push_back(best);
+        break;
+      }
+      case AggOp::kCount:
+        break;  // handled above
+    }
+  }
+  return result;
+}
+
+AggregateResult CountGroups(const Segments& groups) {
+  AggregateResult result;
+  result.op = AggOp::kCount;
+  result.values.reserve(groups.count());
+  for (size_t i = 0; i < groups.count(); ++i) {
+    result.values.push_back(groups.length(i));
+  }
+  return result;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,39 @@
+// Segmented aggregation over the groups produced by a multi-column sort —
+// the final step of a GROUP BY pipeline (Fig. 2's Steps 4-5: lookup the
+// measure column per group, then aggregate).
+#ifndef MCSORT_ENGINE_AGGREGATE_H_
+#define MCSORT_ENGINE_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/scan/group_scan.h"
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+enum class AggOp { kSum, kCount, kAvg, kMin, kMax };
+
+// Per-group results; value semantics depend on the op:
+//   kSum / kMin / kMax: native (base-adjusted) integer values,
+//   kCount: group cardinalities,
+//   kAvg: native mean as double (in `avg`).
+struct AggregateResult {
+  AggOp op = AggOp::kCount;
+  std::vector<int64_t> values;  // per group (sum/min/max/count)
+  std::vector<double> avg;      // per group (kAvg only)
+};
+
+// Aggregates `measure` (already gathered into the sorted row order, i.e.
+// measure[r] belongs to output row r) over `groups`. `base` is the domain
+// encoding base of the measure column (native = base + code).
+AggregateResult AggregateGroups(AggOp op, const EncodedColumn& measure,
+                                int64_t base, const Segments& groups);
+
+// Count-only variant that needs no measure column.
+AggregateResult CountGroups(const Segments& groups);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_ENGINE_AGGREGATE_H_

@@ -1,0 +1,141 @@
+#include "mcsort/engine/multi_column_sorter.h"
+
+#include <numeric>
+#include <utility>
+
+#include "mcsort/common/logging.h"
+#include "mcsort/common/timer.h"
+#include "mcsort/scan/lookup.h"
+#include "mcsort/sort/radix_sort.h"
+
+namespace mcsort {
+namespace {
+
+// Typed pointer to element `offset` of a round-key column.
+void* RawAt(EncodedColumn* column, size_t offset) {
+  switch (column->type()) {
+    case PhysicalType::kU16: return column->Data16() + offset;
+    case PhysicalType::kU32: return column->Data32() + offset;
+    case PhysicalType::kU64: return column->Data64() + offset;
+  }
+  return nullptr;
+}
+
+int BankOfType(PhysicalType type) {
+  switch (type) {
+    case PhysicalType::kU16: return 16;
+    case PhysicalType::kU32: return 32;
+    case PhysicalType::kU64: return 64;
+  }
+  return 64;
+}
+
+}  // namespace
+
+MultiColumnSorter::MultiColumnSorter(ThreadPool* pool, SortKernel kernel)
+    : pool_(pool), kernel_(kernel) {
+  const int workers = pool_ == nullptr ? 1 : pool_->num_threads();
+  scratch_.resize(static_cast<size_t>(workers));
+}
+
+void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
+                                     const Segments& segments,
+                                     RoundProfile* profile) {
+  // The massager typed the round column for its bank.
+  MCSORT_CHECK(BankOfType(keys->type()) == bank);
+  size_t num_sorts = 0;
+  for (size_t s = 0; s < segments.count(); ++s) {
+    if (segments.length(s) > 1) ++num_sorts;
+  }
+  profile->num_sorts = num_sorts;
+
+  const int key_width = keys->width();
+  // One whole-array sort (the typical first round) with a pool available:
+  // use the parallel split + parallel-merge path for the 32-bit bank.
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      segments.count() == 1 && bank == 32 &&
+      kernel_ == SortKernel::kSimdMerge && segments.length(0) > 1) {
+    const uint32_t begin = segments.begin(0);
+    ParallelSortPairs32(keys->Data32() + begin, oids + begin,
+                        segments.length(0), *pool_, scratch_);
+    return;
+  }
+  auto sort_range = [&](size_t seg_begin, size_t seg_end, int worker) {
+    SortScratch& scratch = scratch_[static_cast<size_t>(worker)];
+    for (size_t s = seg_begin; s < seg_end; ++s) {
+      const uint32_t begin = segments.begin(s);
+      const uint32_t len = segments.length(s);
+      if (len <= 1) continue;  // singleton groups need no sorting
+      if (kernel_ == SortKernel::kRadix) {
+        RadixSortPairsBank(bank, RawAt(keys, begin), oids + begin, len,
+                           key_width, scratch);
+      } else {
+        SortPairsBank(bank, RawAt(keys, begin), oids + begin, len, scratch);
+      }
+    }
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && segments.count() > 1) {
+    pool_->ParallelFor(segments.count(), sort_range);
+  } else {
+    sort_range(0, segments.count(), 0);
+  }
+}
+
+MultiColumnSortResult MultiColumnSorter::Sort(
+    const std::vector<MassageInput>& inputs, const MassagePlan& plan) {
+  MCSORT_CHECK(!inputs.empty());
+  const size_t n = inputs[0].column->size();
+  MultiColumnSortResult result;
+  result.oids.resize(n);
+  std::iota(result.oids.begin(), result.oids.end(), 0);
+  if (n == 0) {
+    result.groups.bounds = {0};
+    return result;
+  }
+
+  Timer timer;
+  std::vector<EncodedColumn> round_keys = ApplyMassage(inputs, plan, pool_);
+  result.massage_seconds = timer.Seconds();
+
+  Segments segments = Segments::Whole(n);
+  EncodedColumn gathered;
+  for (size_t j = 0; j < plan.num_rounds(); ++j) {
+    RoundProfile profile;
+    EncodedColumn* keys = &round_keys[j];
+    if (j > 0) {
+      // Lookup: reorder this round's key column into the current order.
+      timer.Restart();
+      GatherColumn(round_keys[j], result.oids.data(), n, &gathered);
+      profile.lookup_seconds = timer.Seconds();
+      keys = &gathered;
+    }
+
+    timer.Restart();
+    SortSegments(plan.round(j).bank, keys, result.oids.data(), segments,
+                 &profile);
+    profile.sort_seconds = timer.Seconds();
+
+    timer.Restart();
+    Segments refined;
+    FindGroups(*keys, segments, &refined);
+    segments = std::move(refined);
+    profile.scan_seconds = timer.Seconds();
+    profile.num_groups = segments.count();
+
+    result.rounds.push_back(profile);
+  }
+  result.groups = std::move(segments);
+  return result;
+}
+
+MultiColumnSortResult MultiColumnSorter::SortColumnAtATime(
+    const std::vector<MassageInput>& inputs) {
+  std::vector<int> widths;
+  widths.reserve(inputs.size());
+  for (const MassageInput& input : inputs) {
+    widths.push_back(input.column->width());
+  }
+  return Sort(inputs, MassagePlan::ColumnAtATime(widths));
+}
+
+}  // namespace mcsort

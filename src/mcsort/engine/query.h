@@ -1,0 +1,142 @@
+// Declarative query specs and the executor that runs them against a
+// (WideTable-style denormalized) Table — the paper's full pipeline:
+//
+//   ByteSlice scans (filters) -> oid list -> lookups materialize the sort
+//   attributes -> plan search (ROGA over the calibrated cost model) ->
+//   multi-column sort (massaged or column-at-a-time) -> aggregation /
+//   window ranking / result ordering.
+//
+// The executor reports a per-phase time breakdown whose "multi-column
+// sorting" bucket is exactly what Figures 1, 8, and 9 of the paper chart
+// against the "scan + lookup + aggregation + single-column sorting" rest.
+#ifndef MCSORT_ENGINE_QUERY_H_
+#define MCSORT_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/cost/cost_model.h"
+#include "mcsort/engine/aggregate.h"
+#include "mcsort/engine/multi_column_sorter.h"
+#include "mcsort/plan/roga.h"
+#include "mcsort/scan/byteslice_scan.h"
+#include "mcsort/storage/table.h"
+
+namespace mcsort {
+
+struct FilterSpec {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Code literal = 0;         // encoded
+  bool is_between = false;  // when set: literal <= column <= literal2
+  Code literal2 = 0;
+};
+
+struct AggregateSpec {
+  AggOp op = AggOp::kCount;
+  std::string column;  // empty for COUNT(*)
+};
+
+// Sort direction applied to a result-ordering attribute.
+struct ResultOrderSpec {
+  // Either the index of an aggregate ("agg:<i>") or a group-by attribute
+  // name; the executor materializes a per-group column for it.
+  std::string key;  // "agg:0", "agg:1", ... or a group-by column name
+  SortOrder order = SortOrder::kAscending;
+};
+
+struct QuerySpec {
+  std::string id;
+  std::vector<FilterSpec> filters;
+
+  // Exactly one of the following drives the multi-column sorting phase:
+  // GROUP BY attributes (order-free: plan search may permute),
+  std::vector<std::string> group_by;
+  // ORDER BY base attributes with directions (order fixed),
+  std::vector<std::pair<std::string, SortOrder>> order_by;
+  // PARTITION BY attributes (order-free) + the window ORDER BY attribute.
+  std::vector<std::string> partition_by;
+  std::string window_order_column;  // used with partition_by (RANK())
+
+  // Aggregates computed per group (GROUP BY queries).
+  std::vector<AggregateSpec> aggregates;
+
+  // Ordering of the aggregated result (e.g. TPC-H Q13/Q16's ORDER BY over
+  // GROUP BY output). Executed as a second (small) multi-column sort.
+  std::vector<ResultOrderSpec> result_order;
+};
+
+struct QueryResult {
+  size_t input_rows = 0;
+  size_t filtered_rows = 0;
+  size_t num_groups = 0;  // groups/partitions produced by the main sort
+
+  // Phase timings (seconds).
+  double scan_seconds = 0;         // predicate scans + oid extraction
+  double materialize_seconds = 0;  // base-column lookups of sort attrs
+  double plan_seconds = 0;         // ROGA search
+  double mcs_seconds = 0;          // multi-column sorting (all instances)
+  double post_seconds = 0;         // aggregation, ranking, decode
+
+  // The main sort's chosen plan and column order.
+  MassagePlan plan;
+  std::vector<int> column_order;
+  MultiColumnSortResult sort_profile;
+
+  // Result payloads (for verification and examples).
+  std::vector<std::vector<int64_t>> aggregate_values;  // per aggregate spec
+  std::vector<double> aggregate_avg;                   // for kAvg specs
+  std::vector<uint32_t> ranks;      // window queries: rank per sorted row
+  std::vector<Oid> result_oids;     // base-table oids in output order
+  std::vector<uint32_t> result_group_order;  // group indices in result order
+
+  double total_seconds() const {
+    return scan_seconds + materialize_seconds + plan_seconds + mcs_seconds +
+           post_seconds;
+  }
+  double rest_seconds() const {  // the paper's non-MCS bucket
+    return scan_seconds + materialize_seconds + post_seconds;
+  }
+};
+
+struct ExecutorOptions {
+  // Enable code massaging: plan via ROGA. Disabled = the state-of-the-art
+  // column-at-a-time baseline.
+  bool use_massage = true;
+  // ROGA time threshold (Appendix C); <= 0 disables the stopwatch.
+  double rho = 0.001;
+  ThreadPool* pool = nullptr;
+  // Cost-model parameters; pass calibrated values for best plans.
+  CostParams params = CostParams::Default();
+};
+
+class QueryExecutor {
+ public:
+  QueryExecutor(const Table& table, const ExecutorOptions& options);
+
+  QueryResult Execute(const QuerySpec& spec);
+
+  // The sort-attribute statistics instance a query induces (exposed for
+  // benchmarks that explore the plan space directly).
+  SortInstanceStats InstanceStats(const QuerySpec& spec,
+                                  uint64_t row_count) const;
+
+ private:
+  struct SortAttrs {
+    std::vector<std::string> names;
+    std::vector<SortOrder> orders;
+    int permute_prefix = 0;  // how many leading columns are order-free
+  };
+  SortAttrs ResolveSortAttrs(const QuerySpec& spec) const;
+
+  const Table& table_;
+  ExecutorOptions options_;
+  CostModel model_;
+  MultiColumnSorter sorter_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_ENGINE_QUERY_H_

@@ -1,0 +1,42 @@
+#include "mcsort/engine/window.h"
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+std::vector<uint32_t> RankOverPartitions(const Segments& partitions,
+                                         const EncodedColumn& order_keys) {
+  std::vector<uint32_t> ranks(order_keys.size());
+  for (size_t p = 0; p < partitions.count(); ++p) {
+    const uint32_t begin = partitions.begin(p);
+    const uint32_t end = partitions.end(p);
+    MCSORT_DCHECK(end <= order_keys.size());
+    uint32_t rank = 1;
+    for (uint32_t r = begin; r < end; ++r) {
+      if (r > begin && order_keys.Get(r) != order_keys.Get(r - 1)) {
+        rank = r - begin + 1;
+      }
+      ranks[r] = rank;
+    }
+  }
+  return ranks;
+}
+
+std::vector<uint32_t> DenseRankOverPartitions(
+    const Segments& partitions, const EncodedColumn& order_keys) {
+  std::vector<uint32_t> ranks(order_keys.size());
+  for (size_t p = 0; p < partitions.count(); ++p) {
+    const uint32_t begin = partitions.begin(p);
+    const uint32_t end = partitions.end(p);
+    uint32_t rank = 1;
+    for (uint32_t r = begin; r < end; ++r) {
+      if (r > begin && order_keys.Get(r) != order_keys.Get(r - 1)) {
+        ++rank;
+      }
+      ranks[r] = rank;
+    }
+  }
+  return ranks;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,30 @@
+// Window-function support for SQL:2003 PARTITION BY — the third trigger of
+// multi-column sorting in the paper. After the engine sorts on
+// (partition attributes..., order attribute), each partition's rows are
+// contiguous and ordered, so RANK() is one sequential pass.
+#ifndef MCSORT_ENGINE_WINDOW_H_
+#define MCSORT_ENGINE_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/scan/group_scan.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+
+// SQL RANK() over partitions: within each partition (contiguous in sorted
+// order), rank of a row = 1 + number of preceding rows with a strictly
+// smaller order key; tied rows share a rank and the following rank skips
+// (1, 1, 3, ...). `order_keys[r]` is the order attribute of sorted row r.
+// Returns one rank per row (sorted order).
+std::vector<uint32_t> RankOverPartitions(const Segments& partitions,
+                                         const EncodedColumn& order_keys);
+
+// DENSE_RANK(): ties share a rank and no gaps are left (1, 1, 2, ...).
+std::vector<uint32_t> DenseRankOverPartitions(const Segments& partitions,
+                                              const EncodedColumn& order_keys);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_ENGINE_WINDOW_H_

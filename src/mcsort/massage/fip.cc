@@ -1,0 +1,68 @@
+#include "mcsort/massage/fip.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+std::vector<FipSegment> ComputeFipSegments(
+    const std::vector<int>& input_widths,
+    const std::vector<int>& output_widths) {
+  const int total_in = std::accumulate(input_widths.begin(),
+                                       input_widths.end(), 0);
+  const int total_out = std::accumulate(output_widths.begin(),
+                                        output_widths.end(), 0);
+  MCSORT_CHECK(total_in == total_out);
+
+  // Cut points: union of the two prefix-sum sequences (MSB offsets).
+  std::vector<int> cuts = {0};
+  int acc = 0;
+  for (int w : input_widths) cuts.push_back(acc += w);
+  acc = 0;
+  for (int w : output_widths) cuts.push_back(acc += w);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Prefix sums for locating the owning input/output range of a segment.
+  std::vector<int> in_ends, out_ends;
+  acc = 0;
+  for (int w : input_widths) in_ends.push_back(acc += w);
+  acc = 0;
+  for (int w : output_widths) out_ends.push_back(acc += w);
+
+  std::vector<FipSegment> segments;
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const int g0 = cuts[c];
+    const int g1 = cuts[c + 1];
+    // Owning input column: first whose end exceeds g0.
+    const int in_col = static_cast<int>(
+        std::upper_bound(in_ends.begin(), in_ends.end(), g0) -
+        in_ends.begin());
+    const int out_col = static_cast<int>(
+        std::upper_bound(out_ends.begin(), out_ends.end(), g0) -
+        out_ends.begin());
+    MCSORT_DCHECK(g1 <= in_ends[static_cast<size_t>(in_col)]);
+    MCSORT_DCHECK(g1 <= out_ends[static_cast<size_t>(out_col)]);
+    FipSegment seg;
+    seg.input_col = in_col;
+    seg.output_col = out_col;
+    seg.length = g1 - g0;
+    // An MSB offset g inside a range ending at `end` (exclusive, MSB
+    // coordinates) maps to LSB bit (end - 1 - g); a segment [g0, g1) spans
+    // LSB bits [end - g1, end - g0).
+    seg.input_lo = in_ends[static_cast<size_t>(in_col)] - g1;
+    seg.output_lo = out_ends[static_cast<size_t>(out_col)] - g1;
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+int CountFipInvocations(const std::vector<int>& input_widths,
+                        const std::vector<int>& output_widths) {
+  return static_cast<int>(
+      ComputeFipSegments(input_widths, output_widths).size());
+}
+
+}  // namespace mcsort

@@ -1,0 +1,43 @@
+// Four-instruction-program (FIP) decomposition of a massage plan (Sec. 4,
+// "Estimating T_massage", and Fig. 6).
+//
+// View the sort key as one W-bit string: input column i occupies a
+// contiguous range (prefix sums of input widths, MSB first), and round j of
+// the plan occupies a contiguous range (prefix sums of round widths).
+// Cutting the string at the union of both prefix-sum sets yields segments
+// that each lie inside exactly one input column AND one output column; one
+// segment is moved by one FIP (shift, mask, bitwise-OR, shift). The number
+// of segments is the paper's I_FIP = |{s_1, s_2, ...} U {s'_1, s'_2, ...}|.
+#ifndef MCSORT_MASSAGE_FIP_H_
+#define MCSORT_MASSAGE_FIP_H_
+
+#include <vector>
+
+namespace mcsort {
+
+// One contiguous bit range copied from an input column to an output column.
+// Bit positions are LSB-based within each code.
+struct FipSegment {
+  int input_col = 0;    // source column index
+  int input_lo = 0;     // lowest source bit (inclusive)
+  int output_col = 0;   // destination round index
+  int output_lo = 0;    // lowest destination bit (inclusive)
+  int length = 0;       // number of bits moved
+
+  friend bool operator==(const FipSegment&, const FipSegment&) = default;
+};
+
+// Computes the segment list for massaging columns of `input_widths` into
+// round columns of `output_widths` (both MSB-significant order; the width
+// sums must match). Segments are returned MSB-first.
+std::vector<FipSegment> ComputeFipSegments(
+    const std::vector<int>& input_widths,
+    const std::vector<int>& output_widths);
+
+// I_FIP: the number of FIP invocations (== the segment count).
+int CountFipInvocations(const std::vector<int>& input_widths,
+                        const std::vector<int>& output_widths);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_MASSAGE_FIP_H_

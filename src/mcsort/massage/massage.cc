@@ -1,0 +1,117 @@
+#include "mcsort/massage/massage.h"
+
+#include <cstdint>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+#include "mcsort/massage/fip.h"
+
+namespace mcsort {
+namespace {
+
+PhysicalType TypeForBank(int bank) {
+  switch (bank) {
+    case 16: return PhysicalType::kU16;
+    case 32: return PhysicalType::kU32;
+    default: return PhysicalType::kU64;
+  }
+}
+
+// One FIP pass: out[r] |= (((in[r] ^ flip) >> in_lo) & mask) << out_lo for
+// rows [begin, end). `flip` complements descending columns within their
+// code width; shift/mask/OR/shift is the paper's four-instruction program.
+template <typename In, typename Out>
+void ApplySegmentPass(const In* in, Out* out, uint64_t flip, int in_lo,
+                      uint64_t mask, int out_lo, size_t begin, size_t end) {
+  for (size_t r = begin; r < end; ++r) {
+    const uint64_t bits =
+        (((static_cast<uint64_t>(in[r]) ^ flip) >> in_lo) & mask) << out_lo;
+    out[r] = static_cast<Out>(out[r] | static_cast<Out>(bits));
+  }
+}
+
+template <typename In>
+void DispatchOut(const In* in, EncodedColumn* out, uint64_t flip, int in_lo,
+                 uint64_t mask, int out_lo, size_t begin, size_t end) {
+  switch (out->type()) {
+    case PhysicalType::kU16:
+      ApplySegmentPass(in, out->Data16(), flip, in_lo, mask, out_lo, begin,
+                       end);
+      break;
+    case PhysicalType::kU32:
+      ApplySegmentPass(in, out->Data32(), flip, in_lo, mask, out_lo, begin,
+                       end);
+      break;
+    case PhysicalType::kU64:
+      ApplySegmentPass(in, out->Data64(), flip, in_lo, mask, out_lo, begin,
+                       end);
+      break;
+  }
+}
+
+void DispatchSegment(const EncodedColumn& in, EncodedColumn* out,
+                     uint64_t flip, int in_lo, uint64_t mask, int out_lo,
+                     size_t begin, size_t end) {
+  switch (in.type()) {
+    case PhysicalType::kU16:
+      DispatchOut(in.Data16(), out, flip, in_lo, mask, out_lo, begin, end);
+      break;
+    case PhysicalType::kU32:
+      DispatchOut(in.Data32(), out, flip, in_lo, mask, out_lo, begin, end);
+      break;
+    case PhysicalType::kU64:
+      DispatchOut(in.Data64(), out, flip, in_lo, mask, out_lo, begin, end);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<EncodedColumn> ApplyMassage(const std::vector<MassageInput>& inputs,
+                                        const MassagePlan& plan,
+                                        ThreadPool* pool) {
+  MCSORT_CHECK(!inputs.empty());
+  MCSORT_CHECK(plan.IsValid());
+  const size_t n = inputs[0].column->size();
+  std::vector<int> input_widths;
+  for (const MassageInput& input : inputs) {
+    MCSORT_CHECK(input.column->size() == n);
+    input_widths.push_back(input.column->width());
+  }
+  MCSORT_CHECK(plan.total_width() ==
+               [&] {
+                 int w = 0;
+                 for (int iw : input_widths) w += iw;
+                 return w;
+               }());
+
+  const std::vector<FipSegment> segments =
+      ComputeFipSegments(input_widths, plan.widths());
+
+  std::vector<EncodedColumn> outputs(plan.num_rounds());
+  for (size_t j = 0; j < plan.num_rounds(); ++j) {
+    outputs[j].ResetTyped(plan.round(j).width, TypeForBank(plan.round(j).bank),
+                          n);
+  }
+
+  auto run = [&](size_t begin, size_t end, int /*worker*/) {
+    for (const FipSegment& seg : segments) {
+      const MassageInput& input = inputs[static_cast<size_t>(seg.input_col)];
+      const uint64_t flip = input.order == SortOrder::kDescending
+                                ? LowBitsMask(input.column->width())
+                                : 0;
+      DispatchSegment(*input.column,
+                      &outputs[static_cast<size_t>(seg.output_col)], flip,
+                      seg.input_lo, LowBitsMask(seg.length), seg.output_lo,
+                      begin, end);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, run);
+  } else {
+    run(0, n, 0);
+  }
+  return outputs;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,43 @@
+// Code massaging execution (Sec. 3, Fig. 6): materializes the per-round
+// sort-key columns of a massage plan from the input columns.
+//
+// Per output round the massager runs one sequential, branchless pass per
+// FIP segment (shift, mask, OR, shift — the paper's four-instruction
+// program), so the access pattern is "highly sequential and branchless"
+// exactly as Sec. 3 argues, and trivially multi-threadable by row range.
+//
+// Descending attributes of an ORDER BY are complemented within their code
+// width before stitching (Fig. 5), so one ascending sort of the massaged
+// key realizes mixed ASC/DESC orders.
+#ifndef MCSORT_MASSAGE_MASSAGE_H_
+#define MCSORT_MASSAGE_MASSAGE_H_
+
+#include <vector>
+
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/massage/plan.h"
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+struct MassageInput {
+  const EncodedColumn* column = nullptr;
+  SortOrder order = SortOrder::kAscending;
+};
+
+// Massages `inputs` (ORDER BY attribute order, most significant first) into
+// one key column per round of `plan`. The plan's total width must equal the
+// sum of the input widths. Output column j holds plan.round(j).width bits
+// but is physically typed for the round's *bank*, so it can be fed to the
+// bank's SIMD-sort directly (e.g. a 10-bit round sorted with a 32-bit bank
+// is stored as uint32).
+//
+// If `pool` is non-null the row ranges are massaged in parallel.
+std::vector<EncodedColumn> ApplyMassage(const std::vector<MassageInput>& inputs,
+                                        const MassagePlan& plan,
+                                        ThreadPool* pool = nullptr);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_MASSAGE_MASSAGE_H_

@@ -1,0 +1,62 @@
+#include "mcsort/massage/plan.h"
+
+#include <numeric>
+#include <utility>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+MassagePlan::MassagePlan(std::vector<Round> rounds)
+    : rounds_(std::move(rounds)) {}
+
+MassagePlan MassagePlan::ColumnAtATime(const std::vector<int>& widths) {
+  return WithMinimalBanks(widths);
+}
+
+MassagePlan MassagePlan::WithMinimalBanks(const std::vector<int>& widths) {
+  std::vector<Round> rounds;
+  rounds.reserve(widths.size());
+  for (int w : widths) {
+    MCSORT_CHECK(w >= 1 && w <= kMaxBankBits);
+    rounds.push_back({w, MinBankForWidth(w)});
+  }
+  return MassagePlan(std::move(rounds));
+}
+
+int MassagePlan::total_width() const {
+  int total = 0;
+  for (const Round& r : rounds_) total += r.width;
+  return total;
+}
+
+bool MassagePlan::IsValid() const {
+  if (rounds_.empty()) return false;
+  for (const Round& r : rounds_) {
+    if (r.width < 1 || r.width > r.bank) return false;
+    if (r.bank != 16 && r.bank != 32 && r.bank != 64) return false;
+  }
+  return true;
+}
+
+std::vector<int> MassagePlan::widths() const {
+  std::vector<int> result;
+  result.reserve(rounds_.size());
+  for (const Round& r : rounds_) result.push_back(r.width);
+  return result;
+}
+
+std::string MassagePlan::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < rounds_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "R" + std::to_string(i + 1) + ": " +
+           std::to_string(rounds_[i].width) + "/[" +
+           std::to_string(rounds_[i].bank) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,65 @@
+// Code massage plans (Sec. 3).
+//
+// A plan partitions the W = sum(w_i) bits of the concatenated sort key into
+// k rounds; round i sorts a_i bits with a b_i-bit-bank SIMD-sort. The
+// paper's notation {R1: 18/[32], R2: 32/[32]} maps to
+// rounds() = [{18, 32}, {32, 32}].
+//
+// The original column-at-a-time plan P0 has one round per input column with
+// the column's minimal bank. Lemma 1 guarantees any re-partitioning of the
+// bits produces the same sorted order of object identifiers.
+#ifndef MCSORT_MASSAGE_PLAN_H_
+#define MCSORT_MASSAGE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+namespace mcsort {
+
+// One round of sorting: `width` bits of the concatenated key sorted with a
+// `bank`-bit-bank SIMD-sort. 1 <= width <= bank, bank in {16, 32, 64}.
+struct Round {
+  int width = 0;
+  int bank = 0;
+
+  friend bool operator==(const Round&, const Round&) = default;
+};
+
+class MassagePlan {
+ public:
+  MassagePlan() = default;
+  explicit MassagePlan(std::vector<Round> rounds);
+
+  // The column-at-a-time plan P0 for input columns of the given widths:
+  // one round per column, minimal bank per width.
+  static MassagePlan ColumnAtATime(const std::vector<int>& widths);
+
+  // A plan with the given round widths and the minimal bank per round.
+  static MassagePlan WithMinimalBanks(const std::vector<int>& widths);
+
+  const std::vector<Round>& rounds() const { return rounds_; }
+  size_t num_rounds() const { return rounds_.size(); }
+  const Round& round(size_t i) const { return rounds_[i]; }
+
+  // W: total bits covered by the plan.
+  int total_width() const;
+
+  // Checks structural validity: nonempty, widths >= 1, width <= bank,
+  // banks in {16, 32, 64}.
+  bool IsValid() const;
+
+  // Round widths only (the FIP computation's "output widths").
+  std::vector<int> widths() const;
+
+  // Paper notation, e.g. "{R1: 18/[32], R2: 32/[32]}".
+  std::string ToString() const;
+
+  friend bool operator==(const MassagePlan&, const MassagePlan&) = default;
+
+ private:
+  std::vector<Round> rounds_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_MASSAGE_PLAN_H_

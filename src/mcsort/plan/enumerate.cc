@@ -1,0 +1,106 @@
+#include "mcsort/plan/enumerate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+int MaxUsefulRounds(int total_width) {
+  MCSORT_CHECK(total_width >= 1);
+  const int lemma2 = 2 * (total_width - 1) / kMinBankBits + 1;
+  return std::min(lemma2, total_width);
+}
+
+std::vector<std::vector<int>> ValidBankCombos(int total_width, int k) {
+  MCSORT_CHECK(k >= 1);
+  std::vector<std::vector<int>> combos;
+  std::vector<int> current(static_cast<size_t>(k));
+  const int banks[3] = {16, 32, 64};
+
+  // Depth-first over {16,32,64}^k.
+  const auto is_valid = [&]() {
+    int capacity = 0;
+    for (int b : current) capacity += b;
+    // (a) capacity: all W bits must fit, and every round needs >= 1 bit,
+    // which k <= W (checked by callers via MaxUsefulRounds) ensures.
+    if (capacity < total_width) return false;
+    // (b) Property-1 pruning: if for some adjacent pair (i, i+1) *every*
+    // assignment satisfies w_i + w_{i+1} <= b_i, the pair can always be
+    // stitched into round i's bank, so a (k-1)-round plan dominates.
+    // The max of w_i + w_{i+1} over assignments: the other k-2 rounds hold
+    // at least 1 bit each, and the pair itself holds at most
+    // b_i + b_{i+1}, so
+    //   max_pair = W - max(k - 2, W - (b_i + b_{i+1})).
+    for (int i = 0; i + 1 < k; ++i) {
+      const int pair_capacity = current[static_cast<size_t>(i)] +
+                                current[static_cast<size_t>(i + 1)];
+      const int min_others = std::max(k - 2, total_width - pair_capacity);
+      const int max_pair = total_width - min_others;
+      if (max_pair <= current[static_cast<size_t>(i)]) return false;
+    }
+    return true;
+  };
+
+  const auto dfs = [&](auto&& self, int depth) -> void {
+    if (depth == k) {
+      if (is_valid()) combos.push_back(current);
+      return;
+    }
+    for (int b : banks) {
+      current[static_cast<size_t>(depth)] = b;
+      self(self, depth + 1);
+    }
+  };
+  dfs(dfs, 0);
+  return combos;
+}
+
+std::vector<MassagePlan> EnumerateFeasiblePlans(int total_width,
+                                                int max_rounds,
+                                                size_t max_plans) {
+  std::vector<MassagePlan> plans;
+  std::vector<int> parts;
+  const auto emit = [&] {
+    plans.push_back(MassagePlan::WithMinimalBanks(parts));
+  };
+  const auto dfs = [&](auto&& self, int remaining, int rounds_left) -> void {
+    if (max_plans != 0 && plans.size() >= max_plans) return;
+    if (remaining == 0) {
+      emit();
+      return;
+    }
+    if (rounds_left == 0) return;
+    const int max_part = std::min(remaining, kMaxBankBits);
+    for (int part = 1; part <= max_part; ++part) {
+      // Remaining bits must fit in the remaining rounds.
+      if (remaining - part >
+          (rounds_left - 1) * kMaxBankBits) {
+        continue;
+      }
+      parts.push_back(part);
+      self(self, remaining - part, rounds_left - 1);
+      parts.pop_back();
+      if (max_plans != 0 && plans.size() >= max_plans) return;
+    }
+  };
+  dfs(dfs, total_width, max_rounds);
+  return plans;
+}
+
+MassagePlan ShiftPlan(int w1, int w2, int shift) {
+  const int total = w1 + w2;
+  MCSORT_CHECK(total <= kMaxBankBits || (w1 + shift <= kMaxBankBits &&
+                                         w2 - shift <= kMaxBankBits));
+  const int a = w1 + shift;
+  const int b = w2 - shift;
+  if (a <= 0 || b <= 0) {
+    MCSORT_CHECK(total <= kMaxBankBits);
+    return MassagePlan::WithMinimalBanks({total});
+  }
+  return MassagePlan::WithMinimalBanks({a, b});
+}
+
+}  // namespace mcsort

@@ -1,0 +1,50 @@
+// Plan-space enumeration helpers (Sec. 5).
+//
+// The full space of code massage plans for W total bits is the set of
+// integer compositions of W (|P| = 2^(W-1)), crossed with per-round bank
+// choices. ROGA never materializes it; these helpers produce
+//   * the valid bank-size combinations for a round count k, with the
+//     Property-1 pruning the paper applies (combinations where two adjacent
+//     rounds could always be stitched into the first round's bank are
+//     dominated), and
+//   * bounded exhaustive plan lists used by the evaluation harness as the
+//     "perfect cost model" baseline A_i (the paper enumerated and *ran* all
+//     feasible plans, which "took weeks"; the benchmarks bound rounds and
+//     plan count and document the restriction).
+#ifndef MCSORT_PLAN_ENUMERATE_H_
+#define MCSORT_PLAN_ENUMERATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mcsort/massage/plan.h"
+
+namespace mcsort {
+
+// Upper bound on useful round counts (Lemma 2):
+// floor(2 (W - 1) / b_min) + 1, additionally capped by W (>= 1 bit/round).
+int MaxUsefulRounds(int total_width);
+
+// All bank combinations (b_1..b_k), b_i in {16,32,64}, that
+//   (a) have enough capacity: sum b_i >= W with every round >= 1 bit, and
+//   (b) survive Property-1 pruning: there is an assignment in which no two
+//       adjacent rounds are guaranteed stitchable into b_i.
+std::vector<std::vector<int>> ValidBankCombos(int total_width, int k);
+
+// Exhaustive list of massage plans with minimal banks: every composition
+// of W into at most `max_rounds` parts of <= 64 bits, capped at
+// `max_plans` (0 = no cap). Compositions are generated first-part-major.
+std::vector<MassagePlan> EnumerateFeasiblePlans(int total_width,
+                                                int max_rounds,
+                                                size_t max_plans = 0);
+
+// The Sec. 3 single-shift family used by Figures 4a/4b: plans obtained
+// from a two-column instance (w1, w2) by moving `shift` boundary bits
+// (positive = left-shift bits from column 2 into round 1; negative =
+// right-shift bits of column 1 into round 2). shift in
+// [-(w1 - 1) - 1 .. w2] where the extremes collapse to one round.
+MassagePlan ShiftPlan(int w1, int w2, int shift);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_PLAN_ENUMERATE_H_

@@ -1,0 +1,82 @@
+#include "mcsort/plan/rho_tuner.h"
+
+#include <algorithm>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+OfflineRhoResult CalibrateRhoOffline(
+    const CostModel& model, const std::vector<SortInstanceStats>& samples,
+    const SearchOptions& base, const RhoLadder& ladder) {
+  MCSORT_CHECK(!samples.empty());
+  MCSORT_CHECK(!ladder.rhos.empty());
+  const size_t levels = ladder.rhos.size();
+
+  // Estimated best-plan cost per (query, rho level).
+  std::vector<std::vector<double>> costs(
+      samples.size(), std::vector<double>(levels, 0.0));
+  for (size_t q = 0; q < samples.size(); ++q) {
+    for (size_t level = 0; level < levels; ++level) {
+      SearchOptions options = base;
+      options.rho = ladder.rhos[level];
+      costs[q][level] =
+          RogaSearch(model, samples[q], options).estimated_cycles;
+    }
+  }
+
+  OfflineRhoResult result;
+  result.converged_at.resize(samples.size(), levels - 1);
+  size_t needed_level = 0;
+  for (size_t q = 0; q < samples.size(); ++q) {
+    // "Best" = the lowest estimate seen at any rho (usually the loosest).
+    double best = costs[q][0];
+    for (size_t level = 1; level < levels; ++level) {
+      best = std::min(best, costs[q][level]);
+    }
+    // Smallest level already achieving it (within rounding).
+    for (size_t level = 0; level < levels; ++level) {
+      if (costs[q][level] <= best * (1.0 + 1e-9)) {
+        result.converged_at[q] = level;
+        break;
+      }
+    }
+    needed_level = std::max(needed_level, result.converged_at[q]);
+  }
+  result.rho = ladder.rhos[needed_level];
+  return result;
+}
+
+OnlineRhoResult SearchWithOnlineRho(const CostModel& model,
+                                    const SortInstanceStats& stats,
+                                    const OnlineRhoOptions& options) {
+  OnlineRhoResult result;
+  double rho = options.rho_low;
+  SearchOptions search_options = options.base;
+  search_options.rho = rho;
+  result.search = RogaSearch(model, stats, search_options);
+  result.final_rho = rho;
+
+  // Extend while the extra budget keeps improving the plan, doubling rho
+  // up to the high watermark (the paper's conditional-increase scheme).
+  while (result.search.timed_out && rho < options.rho_high) {
+    rho = std::min(rho * 2.0, options.rho_high);
+    search_options.rho = rho;
+    const SearchResult extended = RogaSearch(model, stats, search_options);
+    const bool improved =
+        extended.estimated_cycles < result.search.estimated_cycles * (1 - 1e-9);
+    result.final_rho = rho;
+    ++result.extensions;
+    if (improved) {
+      result.search = extended;
+    } else {
+      result.search = extended.estimated_cycles < result.search.estimated_cycles
+                          ? extended
+                          : result.search;
+      break;  // no further improvement anticipated
+    }
+  }
+  return result;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,64 @@
+// Automated selection of the ROGA time threshold rho — the two approaches
+// the paper sketches in Appendix C:
+//
+//   * Offline calibration: run the plan search over a set of sample
+//     queries with a ladder of rho values from stringent (0.01%) to loose
+//     (10%); each query's "best" plan is the lowest-estimate plan found at
+//     any rho; return the smallest rho at which EVERY sample query already
+//     reaches its best plan. Only the cost model is invoked — no query is
+//     executed — so the procedure is fast.
+//
+//   * Online calibration: start a query's search at a low watermark
+//     rho_low; whenever the deadline passes and the best plan improved
+//     during the last extension, double rho and continue; stop once an
+//     extension yields no improvement or rho exceeds the high watermark
+//     rho_high.
+#ifndef MCSORT_PLAN_RHO_TUNER_H_
+#define MCSORT_PLAN_RHO_TUNER_H_
+
+#include <vector>
+
+#include "mcsort/cost/cost_model.h"
+#include "mcsort/plan/roga.h"
+
+namespace mcsort {
+
+struct RhoLadder {
+  // Ascending candidate thresholds, paper's range: 0.01% ... 10%.
+  std::vector<double> rhos = {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1};
+};
+
+struct OfflineRhoResult {
+  double rho = 0.001;  // smallest sufficient threshold
+  // Per sample query: the smallest ladder index whose search reaches that
+  // query's best-known estimate (for reporting).
+  std::vector<size_t> converged_at;
+};
+
+// Offline calibration over `samples`. `base` carries the non-rho search
+// options (permutations etc.) applied to every query.
+OfflineRhoResult CalibrateRhoOffline(const CostModel& model,
+                                     const std::vector<SortInstanceStats>& samples,
+                                     const SearchOptions& base = {},
+                                     const RhoLadder& ladder = {});
+
+struct OnlineRhoOptions {
+  double rho_low = 0.0001;   // the paper's low watermark (0.01%)
+  double rho_high = 0.1;     // the paper's high watermark (10%)
+  SearchOptions base;        // non-rho options
+};
+
+struct OnlineRhoResult {
+  SearchResult search;   // final plan
+  double final_rho = 0;  // threshold in effect when the search settled
+  int extensions = 0;    // how many times rho was doubled
+};
+
+// Online calibration for one query instance.
+OnlineRhoResult SearchWithOnlineRho(const CostModel& model,
+                                    const SortInstanceStats& stats,
+                                    const OnlineRhoOptions& options = {});
+
+}  // namespace mcsort
+
+#endif  // MCSORT_PLAN_RHO_TUNER_H_

@@ -1,0 +1,218 @@
+#include "mcsort/plan/rrs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+#include "mcsort/common/random.h"
+#include "mcsort/common/timer.h"
+#include "mcsort/plan/enumerate.h"
+
+namespace mcsort {
+namespace {
+
+// A candidate point in the search space: a column order plus a plan.
+struct Candidate {
+  std::vector<int> order;
+  MassagePlan plan;
+  double cycles = 0;
+};
+
+int RandomBankFor(int width, Rng& rng) {
+  const int min_bank = MinBankForWidth(width);
+  // Choose the minimal bank or a wider one (wider banks are part of the
+  // space even if rarely optimal).
+  std::vector<int> choices;
+  for (int b : kBankSizes) {
+    if (b >= min_bank) choices.push_back(b);
+  }
+  return choices[rng.NextBounded(choices.size())];
+}
+
+MassagePlan RandomPlan(int total_width, Rng& rng) {
+  const int max_rounds = MaxUsefulRounds(total_width);
+  const int min_rounds = (total_width + kMaxBankBits - 1) / kMaxBankBits;
+  const int k = min_rounds +
+                static_cast<int>(rng.NextBounded(
+                    static_cast<uint64_t>(max_rounds - min_rounds + 1)));
+  // Random composition of W into k parts of <= 64 via random cut points.
+  std::vector<int> widths;
+  int remaining = total_width;
+  for (int i = 0; i < k; ++i) {
+    const int rounds_left = k - i;
+    if (rounds_left == 1) {
+      widths.push_back(remaining);
+      break;
+    }
+    const int lo = std::max(1, remaining - (rounds_left - 1) * kMaxBankBits);
+    const int hi = std::min(kMaxBankBits, remaining - (rounds_left - 1));
+    const int w = lo + static_cast<int>(rng.NextBounded(
+                           static_cast<uint64_t>(hi - lo + 1)));
+    widths.push_back(w);
+    remaining -= w;
+  }
+  std::vector<Round> rounds;
+  for (int w : widths) rounds.push_back({w, RandomBankFor(w, rng)});
+  return MassagePlan(std::move(rounds));
+}
+
+// Produces a neighbor of `plan` at perturbation scale `delta` bits.
+MassagePlan Neighbor(const MassagePlan& plan, int delta, Rng& rng) {
+  std::vector<Round> rounds = plan.rounds();
+  const int kind = static_cast<int>(rng.NextBounded(4));
+  const size_t k = rounds.size();
+  switch (kind) {
+    case 0: {  // move up to `delta` bits between adjacent rounds
+      if (k < 2) break;
+      const size_t i = rng.NextBounded(k - 1);
+      const int move = 1 + static_cast<int>(rng.NextBounded(
+                               static_cast<uint64_t>(delta)));
+      if (rng.NextBounded(2) == 0) {
+        if (rounds[i].width + move <= kMaxBankBits &&
+            rounds[i + 1].width - move >= 1) {
+          rounds[i].width += move;
+          rounds[i + 1].width -= move;
+        }
+      } else {
+        if (rounds[i + 1].width + move <= kMaxBankBits &&
+            rounds[i].width - move >= 1) {
+          rounds[i + 1].width += move;
+          rounds[i].width -= move;
+        }
+      }
+      break;
+    }
+    case 1: {  // split a round
+      const size_t i = rng.NextBounded(k);
+      if (rounds[i].width >= 2) {
+        const int left = 1 + static_cast<int>(rng.NextBounded(
+                                 static_cast<uint64_t>(rounds[i].width - 1)));
+        const int right = rounds[i].width - left;
+        std::vector<Round> next;
+        for (size_t j = 0; j < k; ++j) {
+          if (j == i) {
+            next.push_back({left, MinBankForWidth(left)});
+            next.push_back({right, MinBankForWidth(right)});
+          } else {
+            next.push_back(rounds[j]);
+          }
+        }
+        rounds = std::move(next);
+      }
+      break;
+    }
+    case 2: {  // merge adjacent rounds
+      if (k < 2) break;
+      const size_t i = rng.NextBounded(k - 1);
+      const int merged = rounds[i].width + rounds[i + 1].width;
+      if (merged <= kMaxBankBits) {
+        std::vector<Round> next;
+        for (size_t j = 0; j < k; ++j) {
+          if (j == i) {
+            next.push_back({merged, MinBankForWidth(merged)});
+            ++j;  // skip the absorbed round
+          } else {
+            next.push_back(rounds[j]);
+          }
+        }
+        rounds = std::move(next);
+      }
+      break;
+    }
+    default: {  // re-roll one round's bank
+      const size_t i = rng.NextBounded(k);
+      rounds[i].bank = RandomBankFor(rounds[i].width, rng);
+      break;
+    }
+  }
+  // Re-normalize banks that no longer fit.
+  for (Round& r : rounds) {
+    if (r.width > r.bank) r.bank = MinBankForWidth(r.width);
+  }
+  return MassagePlan(std::move(rounds));
+}
+
+}  // namespace
+
+SearchResult RrsSearch(const CostModel& model, const SortInstanceStats& stats,
+                       const RrsOptions& options) {
+  MCSORT_CHECK(!stats.columns.empty());
+  Rng rng(options.seed);
+  Timer stopwatch;
+
+  std::vector<int> identity(stats.columns.size());
+  std::iota(identity.begin(), identity.end(), 0);
+
+  Candidate best;
+  best.order = identity;
+  best.plan = MassagePlan::ColumnAtATime(stats.widths());
+  best.cycles = model.EstimateCycles(best.plan, stats);
+  size_t costed = 1;
+
+  const size_t prefix =
+      !options.permute_columns
+          ? 0
+          : (options.permute_prefix < 0
+                 ? identity.size()
+                 : std::min<size_t>(
+                       static_cast<size_t>(options.permute_prefix),
+                       identity.size()));
+  const auto random_order = [&]() {
+    std::vector<int> order = identity;
+    for (size_t i = prefix; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    return order;
+  };
+
+  const int total_width = stats.total_width();
+  while (stopwatch.Seconds() < options.budget_seconds) {
+    // Exploration: global random samples.
+    Candidate incumbent = best;
+    for (int s = 0; s < options.exploration_samples; ++s) {
+      Candidate c;
+      c.order = random_order();
+      c.plan = RandomPlan(total_width, rng);
+      c.cycles = model.EstimateCycles(c.plan, stats.Permuted(c.order));
+      ++costed;
+      if (c.cycles < incumbent.cycles) incumbent = c;
+      if (stopwatch.Seconds() >= options.budget_seconds) break;
+    }
+    // Exploitation: shrink the neighborhood around the incumbent.
+    for (int delta = std::max(1, total_width / 4); delta >= 1; delta /= 2) {
+      bool improved = true;
+      while (improved && stopwatch.Seconds() < options.budget_seconds) {
+        improved = false;
+        for (int s = 0; s < options.neighborhood_samples; ++s) {
+          Candidate c;
+          c.order = incumbent.order;
+          c.plan = Neighbor(incumbent.plan, delta, rng);
+          if (!c.plan.IsValid() ||
+              c.plan.total_width() != total_width) {
+            continue;
+          }
+          c.cycles = model.EstimateCycles(c.plan, stats.Permuted(c.order));
+          ++costed;
+          if (c.cycles < incumbent.cycles) {
+            incumbent = c;
+            improved = true;
+          }
+        }
+      }
+      if (stopwatch.Seconds() >= options.budget_seconds) break;
+    }
+    if (incumbent.cycles < best.cycles) best = incumbent;
+  }
+
+  SearchResult result;
+  result.plan = best.plan;
+  result.estimated_cycles = best.cycles;
+  result.column_order = best.order;
+  result.plans_costed = costed;
+  result.search_seconds = stopwatch.Seconds();
+  result.timed_out = true;  // RRS always runs out its budget
+  return result;
+}
+
+}  // namespace mcsort

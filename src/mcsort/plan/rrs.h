@@ -1,0 +1,40 @@
+// Recursive Random Search (RRS) [41] — the black-box plan-search baseline
+// the paper compares ROGA against (Sec. 6.1).
+//
+// RRS samples the plan space uniformly to find a promising region, then
+// recursively re-samples shrinking neighborhoods around the incumbent
+// (moving boundary bits between rounds, splitting/merging rounds, widening
+// banks), restarting from fresh random samples when a local search
+// converges. It uses the same cost model as ROGA and, for fairness, is
+// stopped on the same time budget.
+#ifndef MCSORT_PLAN_RRS_H_
+#define MCSORT_PLAN_RRS_H_
+
+#include <cstdint>
+
+#include "mcsort/cost/cost_model.h"
+#include "mcsort/plan/roga.h"
+
+namespace mcsort {
+
+struct RrsOptions {
+  // Hard wall-clock budget in seconds (the paper stops RRS when ROGA
+  // stops; pass ROGA's measured search time).
+  double budget_seconds = 0.001;
+  // Exploration-phase samples before each recursive descent.
+  int exploration_samples = 40;
+  // Neighborhood samples per shrink level.
+  int neighborhood_samples = 12;
+  // Permute column order (GROUP BY / PARTITION BY semantics); only the
+  // first `permute_prefix` columns are order-free (-1 = all).
+  bool permute_columns = false;
+  int permute_prefix = -1;
+  uint64_t seed = 0xCAFE;
+};
+
+SearchResult RrsSearch(const CostModel& model, const SortInstanceStats& stats,
+                       const RrsOptions& options = {});
+
+}  // namespace mcsort
+
+#endif  // MCSORT_PLAN_RRS_H_

@@ -1,0 +1,43 @@
+#include "mcsort/scan/bitvector.h"
+
+#include <bit>
+
+namespace mcsort {
+
+void BitVector::SetAll() {
+  words_.assign(words_.size(), ~uint64_t{0});
+  // Clear bits past the logical size so counts stay exact.
+  const size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+void BitVector::And(const BitVector& other) {
+  MCSORT_CHECK(other.size_ == size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  MCSORT_CHECK(other.size_ == size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+uint64_t BitVector::CountOnes() const {
+  uint64_t count = 0;
+  for (uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+void BitVector::ToOidList(std::vector<Oid>* oids) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      oids->push_back(static_cast<Oid>(64 * w + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace mcsort

@@ -1,0 +1,52 @@
+#include "mcsort/scan/bitweaving_scan.h"
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+namespace {
+
+uint64_t CombineWord(CompareOp op, uint64_t lt, uint64_t eq) {
+  switch (op) {
+    case CompareOp::kLess: return lt;
+    case CompareOp::kLessEq: return lt | eq;
+    case CompareOp::kEq: return eq;
+    case CompareOp::kNeq: return ~eq;
+    case CompareOp::kGreaterEq: return ~lt;
+    case CompareOp::kGreater: return ~(lt | eq);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void BitWeavingScan(const BitWeavingColumn& column, CompareOp op,
+                    Code literal, BitVector* result) {
+  const size_t n = column.size();
+  result->Resize(n);
+  const int width = column.width();
+  MCSORT_CHECK((literal & ~LowBitsMask(width)) == 0);
+  const size_t words = column.words_per_plane();
+
+  for (size_t g = 0; g < words; ++g) {
+    uint64_t m_lt = 0;
+    uint64_t m_eq = ~uint64_t{0};
+    // MSB -> LSB, early exit once no row remains tied.
+    for (int j = 0; j < width; ++j) {
+      const uint64_t d = column.plane(j)[g];
+      // Broadcast of the literal's bit j: all-ones or all-zeros.
+      const uint64_t c =
+          ((literal >> (width - 1 - j)) & 1) ? ~uint64_t{0} : 0;
+      m_lt |= m_eq & ~d & c;  // code bit 0 while literal bit 1 => less
+      m_eq &= ~(d ^ c);
+      if (m_eq == 0) break;
+    }
+    const uint64_t out = CombineWord(op, m_lt, m_eq);
+    // Write the 64-row word as two 32-bit blocks.
+    result->SetBlock32(2 * g, static_cast<uint32_t>(out));
+    result->SetBlock32(2 * g + 1, static_cast<uint32_t>(out >> 32));
+  }
+  result->ClearPastEnd();
+}
+
+}  // namespace mcsort

@@ -1,0 +1,19 @@
+// BitWeaving/V scan [30]: word-level bitwise predicate evaluation with
+// bit-granular early stopping (see storage/bitweaving.h).
+#ifndef MCSORT_SCAN_BITWEAVING_SCAN_H_
+#define MCSORT_SCAN_BITWEAVING_SCAN_H_
+
+#include "mcsort/scan/bitvector.h"
+#include "mcsort/scan/byteslice_scan.h"  // CompareOp
+#include "mcsort/storage/bitweaving.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+// Evaluates `column <op> literal` over all rows into `result`.
+void BitWeavingScan(const BitWeavingColumn& column, CompareOp op,
+                    Code literal, BitVector* result);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SCAN_BITWEAVING_SCAN_H_

@@ -1,0 +1,35 @@
+// ByteSlice fast scan [14]: SIMD predicate evaluation over the byte-sliced
+// layout with byte-level early stopping.
+//
+// The scan walks slices from the most significant byte down, maintaining
+// per-lane "still tied" (eq) and "already smaller" (lt) masks; once no lane
+// is still tied the remaining (less significant) slices cannot change any
+// outcome and are skipped — this is the early stopping that makes scans on
+// encoded data run at core speed.
+#ifndef MCSORT_SCAN_BYTESLICE_SCAN_H_
+#define MCSORT_SCAN_BYTESLICE_SCAN_H_
+
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/scan/bitvector.h"
+#include "mcsort/storage/byteslice.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+enum class CompareOp { kLess, kLessEq, kGreater, kGreaterEq, kEq, kNeq };
+
+// Evaluates `column <op> literal` over all rows into `result` (resized to
+// the column's row count). `literal` is an encoded value of the column's
+// width. A non-null `pool` splits the scan by 32-row blocks across
+// workers (blocks write disjoint result words... block pairs share a
+// word, so ranges are aligned to even block counts internally).
+void ByteSliceScan(const ByteSliceColumn& column, CompareOp op, Code literal,
+                   BitVector* result, ThreadPool* pool = nullptr);
+
+// Evaluates `lo <= column <= hi` (encoded bounds, inclusive).
+void ByteSliceScanBetween(const ByteSliceColumn& column, Code lo, Code hi,
+                          BitVector* result, ThreadPool* pool = nullptr);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SCAN_BYTESLICE_SCAN_H_

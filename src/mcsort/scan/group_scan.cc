@@ -1,0 +1,52 @@
+#include "mcsort/scan/group_scan.h"
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+namespace {
+
+template <typename K>
+void FindGroupsTyped(const K* keys, const Segments& parents, Segments* out) {
+  out->bounds.clear();
+  if (parents.count() == 0) return;
+  out->bounds.push_back(parents.bounds.front());
+  for (size_t s = 0; s < parents.count(); ++s) {
+    const uint32_t begin = parents.begin(s);
+    const uint32_t end = parents.end(s);
+    if (begin == end) continue;  // empty parent contributes no group
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      if (keys[i] != keys[i - 1]) out->bounds.push_back(i);
+    }
+    out->bounds.push_back(end);
+  }
+}
+
+}  // namespace
+
+void FindGroups(const EncodedColumn& keys, const Segments& parents,
+                Segments* out) {
+  if (parents.count() > 0) {
+    MCSORT_CHECK(parents.bounds.back() == keys.size());
+  }
+  switch (keys.type()) {
+    case PhysicalType::kU16:
+      FindGroupsTyped(keys.Data16(), parents, out);
+      break;
+    case PhysicalType::kU32:
+      FindGroupsTyped(keys.Data32(), parents, out);
+      break;
+    case PhysicalType::kU64:
+      FindGroupsTyped(keys.Data64(), parents, out);
+      break;
+  }
+}
+
+size_t CountNonSingleton(const Segments& segments) {
+  size_t count = 0;
+  for (size_t i = 0; i < segments.count(); ++i) {
+    if (segments.length(i) > 1) ++count;
+  }
+  return count;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,45 @@
+// Group-boundary extraction: scans a (segment-wise) sorted column and
+// splits each parent segment at every key change — the paper's "Scan"
+// operator (Step 2b in Fig. 2a) that feeds the next sorting round its
+// groups of tied values. Its cost is T_scan (Eq. 9): one sequential pass.
+#ifndef MCSORT_SCAN_GROUP_SCAN_H_
+#define MCSORT_SCAN_GROUP_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+// Segment list over [0, n): bounds = {b0 = 0, b1, ..., bk = n}; segment i is
+// [bounds[i], bounds[i+1]).
+struct Segments {
+  std::vector<uint32_t> bounds;
+
+  size_t count() const { return bounds.empty() ? 0 : bounds.size() - 1; }
+  uint32_t begin(size_t i) const { return bounds[i]; }
+  uint32_t end(size_t i) const { return bounds[i + 1]; }
+  uint32_t length(size_t i) const { return bounds[i + 1] - bounds[i]; }
+
+  // The trivial segmentation: one segment covering [0, n).
+  static Segments Whole(size_t n) {
+    Segments s;
+    s.bounds = {0, static_cast<uint32_t>(n)};
+    return s;
+  }
+};
+
+// Splits every parent segment of `keys` (sorted within each parent) at key
+// changes. Returns the refined segmentation; `out` may alias nothing.
+void FindGroups(const EncodedColumn& keys, const Segments& parents,
+                Segments* out);
+
+// Counts how many of the segments have more than one row (the paper's
+// N_sort: singleton groups skip sorting in the next round).
+size_t CountNonSingleton(const Segments& segments);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SCAN_GROUP_SCAN_H_

@@ -1,0 +1,30 @@
+// Lookup operators: fetch column values for a list of oids.
+//
+// This is the paper's Lookup physical operator (Step 2a in Fig. 2a) — the
+// reorder step between sorting rounds that code massaging eliminates. It is
+// N random accesses, which is exactly what the cost model's T_lookup
+// (Eq. 3) charges for.
+#ifndef MCSORT_SCAN_LOOKUP_H_
+#define MCSORT_SCAN_LOOKUP_H_
+
+#include <cstddef>
+
+#include "mcsort/storage/byteslice.h"
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+// out[i] = src[oids[i]]; `out` is reset to src's width and n rows.
+// Uses AVX2 gathers for the 32/64-bit physical types.
+void GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
+                  EncodedColumn* out);
+
+// ByteSlice lookup: stitches the bytes of each requested row back into a
+// code ([14]'s byte-stitching lookup).
+void GatherFromByteSlice(const ByteSliceColumn& src, const Oid* oids,
+                         size_t n, EncodedColumn* out);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SCAN_LOOKUP_H_

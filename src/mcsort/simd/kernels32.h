@@ -1,0 +1,192 @@
+// AVX2 key+payload kernels for the 32-bit bank (8 lanes).
+//
+// These are the building blocks of the b=32 SIMD merge-sort:
+//   * compare-exchange of two registers that permutes a payload register
+//     identically (so sorts emit the permuted oid list the engine needs);
+//   * the Batcher 8-element sorting network applied "vertically" across
+//     eight registers plus an 8x8 transpose — the in-register phase that
+//     turns 64 values into eight sorted runs of 8 (the paper's
+//     "(S/b)^2 codes -> S/b in-register sorted runs");
+//   * the 16-element bitonic merge network over two registers — the kernel
+//     of the in-cache and out-of-cache merge phases.
+//
+// Keys are compared as *unsigned* 32-bit integers (codes are unsigned).
+// Compare-exchanges use min_epu32/max_epu32 for the keys and derive the
+// payload blend mask with cmpeq(key, max); on ties the payloads swap, which
+// is harmless (multi-column sorting needs a permutation, not stability).
+#ifndef MCSORT_SIMD_KERNELS32_H_
+#define MCSORT_SIMD_KERNELS32_H_
+
+#include <cstdint>
+
+#include "mcsort/simd/simd.h"
+
+#if MCSORT_HAVE_AVX2
+
+namespace mcsort {
+namespace simd32 {
+
+// One register of 8 keys with its 8 payloads.
+struct KV {
+  __m256i key;
+  __m256i pay;
+};
+
+// Vertical compare-exchange: (lo, hi) = (lane-wise min, max) of (a, b),
+// payloads permuted identically.
+inline void CompareExchange(KV& a, KV& b) {
+  const __m256i mn = _mm256_min_epu32(a.key, b.key);
+  const __m256i mx = _mm256_max_epu32(a.key, b.key);
+  // mask lane = all-ones where a.key >= b.key (a holds the max).
+  const __m256i mask = _mm256_cmpeq_epi32(a.key, mx);
+  const __m256i pmn = _mm256_blendv_epi8(a.pay, b.pay, mask);
+  const __m256i pmx = _mm256_blendv_epi8(b.pay, a.pay, mask);
+  a.key = mn;
+  a.pay = pmn;
+  b.key = mx;
+  b.pay = pmx;
+}
+
+// Reverses the 8 lanes of a register pair.
+inline KV Reverse(KV v) {
+  const __m256i idx = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  return {_mm256_permutevar8x32_epi32(v.key, idx),
+          _mm256_permutevar8x32_epi32(v.pay, idx)};
+}
+
+namespace internal {
+
+// Intra-register compare-exchange against a shuffled copy. `kBlend` selects
+// which lanes of the result take the max (the upper element of each pair).
+//
+// Tie handling is position-dependent on purpose: both lanes of a tied pair
+// would otherwise make the same "who is the max" decision and pick the same
+// payload, duplicating one payload and dropping its partner. With
+// "tie keeps its own payload" on both the min and the max position the two
+// decisions stay complementary.
+template <int kBlend>
+inline KV IntraCompareExchange(KV v, __m256i skey, __m256i spay) {
+  const __m256i mn = _mm256_min_epu32(v.key, skey);
+  const __m256i mx = _mm256_max_epu32(v.key, skey);
+  const __m256i is_min = _mm256_cmpeq_epi32(v.key, mn);  // v <= partner
+  const __m256i is_max = _mm256_cmpeq_epi32(v.key, mx);  // v >= partner
+  // Min position: own payload unless strictly greater than the partner.
+  const __m256i pay_lo = _mm256_blendv_epi8(spay, v.pay, is_min);
+  // Max position: own payload unless strictly smaller than the partner.
+  const __m256i pay_hi = _mm256_blendv_epi8(spay, v.pay, is_max);
+  return {_mm256_blend_epi32(mn, mx, kBlend),
+          _mm256_blend_epi32(pay_lo, pay_hi, kBlend)};
+}
+
+}  // namespace internal
+
+// Sorts the 8 lanes of a *bitonic* register ascending (the cleanup half of
+// a bitonic merge network): strides 4, 2, 1.
+inline KV BitonicCleanup8(KV v) {
+  // Stride 4: exchange lanes i <-> i+4 (swap 128-bit halves).
+  {
+    const __m256i sk = _mm256_permute2x128_si256(v.key, v.key, 0x01);
+    const __m256i sp = _mm256_permute2x128_si256(v.pay, v.pay, 0x01);
+    v = internal::IntraCompareExchange<0xF0>(v, sk, sp);
+  }
+  // Stride 2: exchange lanes i <-> i+2 (swap 64-bit pairs in each half).
+  {
+    const __m256i sk = _mm256_shuffle_epi32(v.key, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m256i sp = _mm256_shuffle_epi32(v.pay, _MM_SHUFFLE(1, 0, 3, 2));
+    v = internal::IntraCompareExchange<0xCC>(v, sk, sp);
+  }
+  // Stride 1: exchange adjacent lanes.
+  {
+    const __m256i sk = _mm256_shuffle_epi32(v.key, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m256i sp = _mm256_shuffle_epi32(v.pay, _MM_SHUFFLE(2, 3, 0, 1));
+    v = internal::IntraCompareExchange<0xAA>(v, sk, sp);
+  }
+  return v;
+}
+
+// Bitonic merge of two sorted registers: on return `a` holds the 8 smallest
+// of the 16 inputs (sorted ascending) and `b` the 8 largest (sorted).
+inline void BitonicMerge16(KV& a, KV& b) {
+  b = Reverse(b);       // a (asc) ++ b (desc) is a 16-element bitonic seq
+  CompareExchange(a, b);  // split into low/high bitonic halves
+  a = BitonicCleanup8(a);
+  b = BitonicCleanup8(b);
+}
+
+// Transposes an 8x8 matrix of 32-bit elements held in r[0..7]; output row i
+// is input column i. Applied to keys and payloads separately.
+inline void Transpose8x8(__m256i r[8]) {
+  __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+// In-register phase: sorts a block of 64 (key, payload) pairs into eight
+// sorted runs of 8, written back contiguously. Batcher's odd-even network
+// (19 compare-exchanges) sorts the eight lane-columns, then the transposes
+// turn sorted columns into contiguous runs.
+inline void SortBlock64(uint32_t* keys, uint32_t* pays) {
+  KV r[8];
+  for (int i = 0; i < 8; ++i) {
+    r[i].key = _mm256_loadu_si256(reinterpret_cast<__m256i*>(keys + 8 * i));
+    r[i].pay = _mm256_loadu_si256(reinterpret_cast<__m256i*>(pays + 8 * i));
+  }
+  // Batcher odd-even mergesort network for 8 elements.
+  CompareExchange(r[0], r[1]);
+  CompareExchange(r[2], r[3]);
+  CompareExchange(r[4], r[5]);
+  CompareExchange(r[6], r[7]);
+  CompareExchange(r[0], r[2]);
+  CompareExchange(r[1], r[3]);
+  CompareExchange(r[4], r[6]);
+  CompareExchange(r[5], r[7]);
+  CompareExchange(r[1], r[2]);
+  CompareExchange(r[5], r[6]);
+  CompareExchange(r[0], r[4]);
+  CompareExchange(r[1], r[5]);
+  CompareExchange(r[2], r[6]);
+  CompareExchange(r[3], r[7]);
+  CompareExchange(r[2], r[4]);
+  CompareExchange(r[3], r[5]);
+  CompareExchange(r[1], r[2]);
+  CompareExchange(r[3], r[4]);
+  CompareExchange(r[5], r[6]);
+  __m256i k[8], p[8];
+  for (int i = 0; i < 8; ++i) {
+    k[i] = r[i].key;
+    p[i] = r[i].pay;
+  }
+  Transpose8x8(k);
+  Transpose8x8(p);
+  for (int i = 0; i < 8; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + 8 * i), k[i]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pays + 8 * i), p[i]);
+  }
+}
+
+}  // namespace simd32
+}  // namespace mcsort
+
+#endif  // MCSORT_HAVE_AVX2
+#endif  // MCSORT_SIMD_KERNELS32_H_

@@ -1,0 +1,146 @@
+// AVX2 key+payload kernels for the 64-bit bank (4 lanes).
+//
+// Mirror of kernels32.h at half the data parallelism — this *is* the effect
+// the paper exploits: a 64-bit-bank sort moves 4 keys per instruction where
+// a 32-bit-bank sort moves 8. AVX2 has no unsigned 64-bit min/max or
+// compare, so compare-exchanges flip the sign bit and use the signed
+// cmpgt_epi64 (one of the "simulated with more primitive instructions"
+// costs of wide banks).
+#ifndef MCSORT_SIMD_KERNELS64_H_
+#define MCSORT_SIMD_KERNELS64_H_
+
+#include <cstdint>
+
+#include "mcsort/simd/simd.h"
+
+#if MCSORT_HAVE_AVX2
+
+namespace mcsort {
+namespace simd64 {
+
+// One register of 4 keys with its 4 payloads.
+struct KV {
+  __m256i key;
+  __m256i pay;
+};
+
+namespace internal {
+
+inline __m256i SignBit64() { return _mm256_set1_epi64x(0x8000000000000000ll); }
+
+// all-ones lane where unsigned a > b.
+inline __m256i CmpGtEpu64(__m256i a, __m256i b) {
+  const __m256i bias = SignBit64();
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                            _mm256_xor_si256(b, bias));
+}
+
+}  // namespace internal
+
+// Vertical compare-exchange with payload permutation.
+inline void CompareExchange(KV& a, KV& b) {
+  const __m256i gt = internal::CmpGtEpu64(a.key, b.key);  // a > b
+  const __m256i kmn = _mm256_blendv_epi8(a.key, b.key, gt);
+  const __m256i kmx = _mm256_blendv_epi8(b.key, a.key, gt);
+  const __m256i pmn = _mm256_blendv_epi8(a.pay, b.pay, gt);
+  const __m256i pmx = _mm256_blendv_epi8(b.pay, a.pay, gt);
+  a.key = kmn;
+  a.pay = pmn;
+  b.key = kmx;
+  b.pay = pmx;
+}
+
+// Reverses the 4 lanes.
+inline KV Reverse(KV v) {
+  return {_mm256_permute4x64_epi64(v.key, _MM_SHUFFLE(0, 1, 2, 3)),
+          _mm256_permute4x64_epi64(v.pay, _MM_SHUFFLE(0, 1, 2, 3))};
+}
+
+namespace internal {
+
+// Intra-register CE against a shuffled copy; kBlend (epi32 granularity,
+// two bits per 64-bit lane) selects the lanes that take the max.
+//
+// Tie handling mirrors kernels32.h: on a tied pair both positions keep
+// their *own* payload so the two lanes' decisions stay complementary
+// (a shared "who is the max" mask would duplicate one payload).
+template <int kBlend>
+inline KV IntraCompareExchange(KV v, __m256i skey, __m256i spay) {
+  const __m256i gt_vs = CmpGtEpu64(v.key, skey);  // v strictly greater
+  const __m256i gt_sv = CmpGtEpu64(skey, v.key);  // partner strictly greater
+  const __m256i kmn = _mm256_blendv_epi8(v.key, skey, gt_vs);
+  const __m256i kmx = _mm256_blendv_epi8(skey, v.key, gt_vs);
+  // Min position: own payload unless strictly greater than the partner.
+  const __m256i pay_lo = _mm256_blendv_epi8(v.pay, spay, gt_vs);
+  // Max position: own payload unless strictly smaller than the partner.
+  const __m256i pay_hi = _mm256_blendv_epi8(v.pay, spay, gt_sv);
+  return {_mm256_blend_epi32(kmn, kmx, kBlend),
+          _mm256_blend_epi32(pay_lo, pay_hi, kBlend)};
+}
+
+}  // namespace internal
+
+// Sorts the 4 lanes of a bitonic register ascending: strides 2, 1.
+inline KV BitonicCleanup4(KV v) {
+  {
+    const __m256i sk = _mm256_permute4x64_epi64(v.key, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m256i sp = _mm256_permute4x64_epi64(v.pay, _MM_SHUFFLE(1, 0, 3, 2));
+    v = internal::IntraCompareExchange<0xF0>(v, sk, sp);
+  }
+  {
+    const __m256i sk = _mm256_permute4x64_epi64(v.key, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m256i sp = _mm256_permute4x64_epi64(v.pay, _MM_SHUFFLE(2, 3, 0, 1));
+    v = internal::IntraCompareExchange<0xCC>(v, sk, sp);
+  }
+  return v;
+}
+
+// Bitonic merge of two sorted registers: `a` gets the 4 smallest of the 8
+// inputs (sorted), `b` the 4 largest (sorted).
+inline void BitonicMerge8(KV& a, KV& b) {
+  b = Reverse(b);
+  CompareExchange(a, b);
+  a = BitonicCleanup4(a);
+  b = BitonicCleanup4(b);
+}
+
+// Transposes a 4x4 matrix of 64-bit elements; output row i = input column i.
+inline void Transpose4x4(__m256i r[4]) {
+  const __m256i t0 = _mm256_unpacklo_epi64(r[0], r[1]);
+  const __m256i t1 = _mm256_unpackhi_epi64(r[0], r[1]);
+  const __m256i t2 = _mm256_unpacklo_epi64(r[2], r[3]);
+  const __m256i t3 = _mm256_unpackhi_epi64(r[2], r[3]);
+  r[0] = _mm256_permute2x128_si256(t0, t2, 0x20);
+  r[1] = _mm256_permute2x128_si256(t1, t3, 0x20);
+  r[2] = _mm256_permute2x128_si256(t0, t2, 0x31);
+  r[3] = _mm256_permute2x128_si256(t1, t3, 0x31);
+}
+
+// In-register phase: sorts a block of 16 (key, payload) pairs into four
+// sorted runs of 4 (Batcher 4-network, 5 compare-exchanges, then transpose).
+inline void SortBlock16(uint64_t* keys, uint64_t* pays) {
+  KV r[4];
+  for (int i = 0; i < 4; ++i) {
+    r[i].key = _mm256_loadu_si256(reinterpret_cast<__m256i*>(keys + 4 * i));
+    r[i].pay = _mm256_loadu_si256(reinterpret_cast<__m256i*>(pays + 4 * i));
+  }
+  CompareExchange(r[0], r[1]);
+  CompareExchange(r[2], r[3]);
+  CompareExchange(r[0], r[2]);
+  CompareExchange(r[1], r[3]);
+  CompareExchange(r[1], r[2]);
+  __m256i k[4] = {r[0].key, r[1].key, r[2].key, r[3].key};
+  __m256i p[4] = {r[0].pay, r[1].pay, r[2].pay, r[3].pay};
+  Transpose4x4(k);
+  Transpose4x4(p);
+  for (int i = 0; i < 4; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + 4 * i), k[i]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(pays + 4 * i), p[i]);
+  }
+}
+
+}  // namespace simd64
+}  // namespace mcsort
+
+#endif  // MCSORT_HAVE_AVX2
+#endif  // MCSORT_SIMD_KERNELS64_H_

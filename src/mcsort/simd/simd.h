@@ -1,0 +1,26 @@
+// SIMD feature detection and shared constants.
+//
+// The paper targets AVX2 (S = 256-bit registers; banks b in {16, 32, 64}).
+// All kernels compile to scalar fallbacks when AVX2 is unavailable so the
+// library stays portable; the benchmarks are only meaningful with AVX2.
+#ifndef MCSORT_SIMD_SIMD_H_
+#define MCSORT_SIMD_SIMD_H_
+
+#if defined(__AVX2__)
+#define MCSORT_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define MCSORT_HAVE_AVX2 0
+#endif
+
+namespace mcsort {
+
+// SIMD register width in bits (the paper's S).
+inline constexpr int kSimdBits = 256;
+
+// Lanes per register for a given bank size b: S/b.
+constexpr int LanesForBank(int bank) { return kSimdBits / bank; }
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SIMD_SIMD_H_

@@ -1,0 +1,140 @@
+#include "mcsort/sort/radix_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+#include "mcsort/sort/scalar_kernels.h"
+
+namespace mcsort {
+namespace {
+
+// Below this size insertion sort beats the fixed per-pass costs.
+constexpr size_t kRadixInsertionMax = 64;
+
+template <typename K>
+void RadixSortCore(K* keys, uint32_t* oids, size_t n, int key_width,
+                   K* key_scratch, uint32_t* oid_scratch,
+                   const RadixOptions& options) {
+  const int radix_bits = options.radix_bits;
+  MCSORT_CHECK(radix_bits >= 1 && radix_bits <= 16);
+  const size_t buckets = size_t{1} << radix_bits;
+  const uint64_t digit_mask = LowBitsMask(radix_bits);
+  const int passes = (key_width + radix_bits - 1) / radix_bits;
+
+  K* src_k = keys;
+  uint32_t* src_o = oids;
+  K* dst_k = key_scratch;
+  uint32_t* dst_o = oid_scratch;
+  std::vector<size_t> histogram(buckets);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * radix_bits;
+    std::fill(histogram.begin(), histogram.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++histogram[(static_cast<uint64_t>(src_k[i]) >> shift) & digit_mask];
+    }
+    // Skip a pass whose digit is constant (common for the last, partial
+    // digit of narrow keys) — the paper's "careful choice of radix size"
+    // effect appears naturally.
+    size_t nonzero = 0;
+    for (size_t b = 0; b < buckets && nonzero <= 1; ++b) {
+      if (histogram[b] != 0) ++nonzero;
+    }
+    if (nonzero <= 1) continue;
+    // Exclusive prefix sums -> scatter offsets.
+    size_t sum = 0;
+    for (size_t b = 0; b < buckets; ++b) {
+      const size_t count = histogram[b];
+      histogram[b] = sum;
+      sum += count;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t bucket =
+          (static_cast<uint64_t>(src_k[i]) >> shift) & digit_mask;
+      const size_t pos = histogram[bucket]++;
+      dst_k[pos] = src_k[i];
+      dst_o[pos] = src_o[i];
+    }
+    std::swap(src_k, dst_k);
+    std::swap(src_o, dst_o);
+  }
+  if (src_k != keys) {
+    std::memcpy(keys, src_k, n * sizeof(K));
+    std::memcpy(oids, src_o, n * sizeof(uint32_t));
+  }
+}
+
+}  // namespace
+
+void RadixSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options) {
+  if (n <= 1) return;
+  MCSORT_CHECK(key_width >= 1 && key_width <= 16);
+  if (n <= kRadixInsertionMax) {
+    InsertionSortPairs(keys, oids, n);
+    return;
+  }
+  // u16 keys fit in the low halves of a u32 scratch buffer.
+  scratch.u32_a.EnsureDiscard(n);
+  scratch.u32_b.EnsureDiscard(n);
+  RadixSortCore(keys, oids, n, key_width,
+                reinterpret_cast<uint16_t*>(scratch.u32_a.data()),
+                scratch.u32_b.data(), options);
+}
+
+void RadixSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options) {
+  if (n <= 1) return;
+  MCSORT_CHECK(key_width >= 1 && key_width <= 32);
+  if (n <= kRadixInsertionMax) {
+    InsertionSortPairs(keys, oids, n);
+    return;
+  }
+  scratch.u32_a.EnsureDiscard(n);
+  scratch.u32_b.EnsureDiscard(n);
+  RadixSortCore(keys, oids, n, key_width, scratch.u32_a.data(),
+                scratch.u32_b.data(), options);
+}
+
+void RadixSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options) {
+  if (n <= 1) return;
+  MCSORT_CHECK(key_width >= 1 && key_width <= 64);
+  if (n <= kRadixInsertionMax) {
+    InsertionSortPairs(keys, oids, n);
+    return;
+  }
+  scratch.u64_a.EnsureDiscard(n);
+  scratch.u32_a.EnsureDiscard(n);
+  RadixSortCore(keys, oids, n, key_width, scratch.u64_a.data(),
+                scratch.u32_a.data(), options);
+}
+
+void RadixSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
+                        int key_width, SortScratch& scratch,
+                        const RadixOptions& options) {
+  switch (bank) {
+    case 16:
+      RadixSortPairs16(static_cast<uint16_t*>(keys), oids, n, key_width,
+                       scratch, options);
+      break;
+    case 32:
+      RadixSortPairs32(static_cast<uint32_t*>(keys), oids, n, key_width,
+                       scratch, options);
+      break;
+    case 64:
+      RadixSortPairs64(static_cast<uint64_t*>(keys), oids, n, key_width,
+                       scratch, options);
+      break;
+    default:
+      MCSORT_CHECK(false && "unsupported bank size");
+  }
+}
+
+}  // namespace mcsort

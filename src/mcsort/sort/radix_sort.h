@@ -1,0 +1,53 @@
+// LSD radix sort of (key, oid) pairs — the paper's Sec. 7 future-work
+// direction ("include radix-sort into our study: the performance of
+// in-memory radix-sort depends on the size of the radix... code massaging
+// would allow a careful choice of the radix size when radix-sorting
+// multiple columns").
+//
+// Unlike the SIMD merge-sort, whose cost depends on the *bank* (16/32/64),
+// radix cost depends on the number of digit passes ceil(w / radix_bits) —
+// i.e. directly on the round's code width w. Code massaging therefore
+// interacts with radix sorting through a different mechanism: moving a
+// boundary bit can remove an entire pass. The ablation benchmark
+// (bench/ablation_sort_kernels) contrasts the two kernels.
+//
+// The implementation is a classic out-of-place LSD radix: per pass,
+// histogram + exclusive prefix + scatter, ping-ponging between the input
+// arrays and scratch. Only the low `key_width` bits participate, so narrow
+// codes stored in wide types do not pay for zero digits. Stable (which
+// multi-column sorting does not require, but stability is free here).
+#ifndef MCSORT_SORT_RADIX_SORT_H_
+#define MCSORT_SORT_RADIX_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mcsort/sort/simd_sort.h"
+
+namespace mcsort {
+
+struct RadixOptions {
+  // Digit size in bits; 8 matches cache-resident 256-entry histograms.
+  int radix_bits = 8;
+};
+
+// Sorts keys[0..n) ascending by their low `key_width` bits, permuting oids
+// identically. Scratch buffers are reused across calls.
+void RadixSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options = {});
+void RadixSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options = {});
+void RadixSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
+                      int key_width, SortScratch& scratch,
+                      const RadixOptions& options = {});
+
+// Dispatch on the physical bank type (like SortPairsBank).
+void RadixSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
+                        int key_width, SortScratch& scratch,
+                        const RadixOptions& options = {});
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_RADIX_SORT_H_

@@ -1,0 +1,118 @@
+// Scalar building blocks of the SIMD merge-sort: insertion sort for tiny
+// segments, small-vs-run merging (galloping + memcpy), and a reference
+// pair sort used by tests and the non-AVX2 fallback.
+//
+// All kernels operate on parallel key/payload arrays (structure of arrays)
+// and compare keys as unsigned integers.
+#ifndef MCSORT_SORT_SCALAR_KERNELS_H_
+#define MCSORT_SORT_SCALAR_KERNELS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace mcsort {
+
+// Insertion sort of n (key, payload) pairs. Used below the SIMD threshold
+// and for sub-register tails; n is expected to be small (<= a few dozen).
+template <typename K, typename P>
+void InsertionSortPairs(K* keys, P* pays, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    const K k = keys[i];
+    const P p = pays[i];
+    size_t j = i;
+    while (j > 0 && keys[j - 1] > k) {
+      keys[j] = keys[j - 1];
+      pays[j] = pays[j - 1];
+      --j;
+    }
+    keys[j] = k;
+    pays[j] = p;
+  }
+}
+
+// Merges a small sorted sequence (m elements) into a long sorted run
+// (n elements) producing out (m + n elements). Cost is O(m log n) searches
+// plus one memcpy sweep of the run — this finishes a SIMD run merge after
+// one input is exhausted without a slow element-wise scalar loop.
+template <typename K, typename P>
+void MergeSmallWithRun(const K* small_keys, const P* small_pays, size_t m,
+                       const K* run_keys, const P* run_pays, size_t n,
+                       K* out_keys, P* out_pays) {
+  size_t pos = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const K k = small_keys[i];
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(run_keys + pos, run_keys + n, k) - run_keys);
+    const size_t len = idx - pos;
+    if (len > 0) {
+      std::memcpy(out_keys + out, run_keys + pos, len * sizeof(K));
+      std::memcpy(out_pays + out, run_pays + pos, len * sizeof(P));
+      out += len;
+      pos = idx;
+    }
+    out_keys[out] = k;
+    out_pays[out] = small_pays[i];
+    ++out;
+  }
+  if (pos < n) {
+    std::memcpy(out_keys + out, run_keys + pos, (n - pos) * sizeof(K));
+    std::memcpy(out_pays + out, run_pays + pos, (n - pos) * sizeof(P));
+  }
+}
+
+// Plain scalar two-way merge (both inputs small).
+template <typename K, typename P>
+void MergeScalar(const K* ka, const P* pa, size_t na, const K* kb,
+                 const P* pb, size_t nb, K* out_keys, P* out_pays) {
+  size_t i = 0, j = 0, o = 0;
+  while (i < na && j < nb) {
+    if (ka[i] <= kb[j]) {
+      out_keys[o] = ka[i];
+      out_pays[o] = pa[i];
+      ++i;
+    } else {
+      out_keys[o] = kb[j];
+      out_pays[o] = pb[j];
+      ++j;
+    }
+    ++o;
+  }
+  while (i < na) {
+    out_keys[o] = ka[i];
+    out_pays[o] = pa[i];
+    ++i;
+    ++o;
+  }
+  while (j < nb) {
+    out_keys[o] = kb[j];
+    out_pays[o] = pb[j];
+    ++j;
+    ++o;
+  }
+}
+
+// Reference pair sort (std::sort of a permutation). O(n) extra memory;
+// used by tests, the non-AVX2 fallback, and nowhere on the hot path.
+template <typename K, typename P>
+void ReferenceSortPairs(K* keys, P* pays, size_t n) {
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [keys](uint64_t a, uint64_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;  // stable tiebreak keeps the sort deterministic
+  });
+  std::vector<K> tmp_keys(keys, keys + n);
+  std::vector<P> tmp_pays(pays, pays + n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = tmp_keys[order[i]];
+    pays[i] = tmp_pays[order[i]];
+  }
+}
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_SCALAR_KERNELS_H_

@@ -1,0 +1,30 @@
+#include "mcsort/storage/byteslice.h"
+
+#include "mcsort/common/bits.h"
+
+namespace mcsort {
+
+ByteSliceColumn ByteSliceColumn::Build(const EncodedColumn& column) {
+  ByteSliceColumn bs;
+  bs.width_ = column.width();
+  bs.size_ = column.size();
+  const int num_slices = (column.width() + 7) / 8;
+  const int padding = 8 * num_slices - column.width();
+  // Pad the slice length to a SIMD block so scans can run full blocks.
+  const size_t padded_n = RoundUp(column.size(), 32);
+  bs.slices_.resize(static_cast<size_t>(num_slices));
+  for (auto& slice : bs.slices_) {
+    slice.Reset(padded_n);
+    slice.Fill(0);
+  }
+  for (size_t i = 0; i < column.size(); ++i) {
+    const Code padded = column.Get(i) << padding;
+    for (int j = 0; j < num_slices; ++j) {
+      bs.slices_[static_cast<size_t>(j)][i] =
+          static_cast<uint8_t>(padded >> (8 * (num_slices - 1 - j)));
+    }
+  }
+  return bs;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,90 @@
+#include "mcsort/storage/dictionary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+StringDictionary StringDictionary::Build(
+    const std::vector<std::string>& values) {
+  StringDictionary dict;
+  dict.sorted_values_ = values;
+  std::sort(dict.sorted_values_.begin(), dict.sorted_values_.end());
+  dict.sorted_values_.erase(
+      std::unique(dict.sorted_values_.begin(), dict.sorted_values_.end()),
+      dict.sorted_values_.end());
+  return dict;
+}
+
+Code StringDictionary::Encode(const std::string& value) const {
+  auto it =
+      std::lower_bound(sorted_values_.begin(), sorted_values_.end(), value);
+  MCSORT_CHECK(it != sorted_values_.end() && *it == value);
+  return static_cast<Code>(it - sorted_values_.begin());
+}
+
+const std::string& StringDictionary::Decode(Code code) const {
+  MCSORT_CHECK(code < sorted_values_.size());
+  return sorted_values_[code];
+}
+
+int StringDictionary::code_width() const {
+  return BitsForCount(sorted_values_.size());
+}
+
+EncodedStringColumn EncodeStrings(const std::vector<std::string>& values) {
+  EncodedStringColumn result;
+  result.dictionary = StringDictionary::Build(values);
+  result.codes.Reset(result.dictionary.code_width(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.codes.Set(i, result.dictionary.Encode(values[i]));
+  }
+  return result;
+}
+
+DenseEncoding EncodeDense(const std::vector<int64_t>& values) {
+  DenseEncoding result;
+  result.dictionary = values;
+  std::sort(result.dictionary.begin(), result.dictionary.end());
+  result.dictionary.erase(
+      std::unique(result.dictionary.begin(), result.dictionary.end()),
+      result.dictionary.end());
+  const int width = BitsForCount(result.dictionary.size());
+  result.codes.Reset(width, values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto it = std::lower_bound(result.dictionary.begin(),
+                               result.dictionary.end(), values[i]);
+    result.codes.Set(i, static_cast<Code>(it - result.dictionary.begin()));
+  }
+  return result;
+}
+
+DomainEncoding EncodeDomain(const std::vector<int64_t>& values) {
+  DomainEncoding result;
+  MCSORT_CHECK(!values.empty());
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  result.base = *min_it;
+  const uint64_t range = static_cast<uint64_t>(*max_it - *min_it);
+  result.codes.Reset(BitsForValue(range), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.codes.Set(i, static_cast<Code>(values[i] - result.base));
+  }
+  return result;
+}
+
+DenseEncoding EncodeDecimal(const std::vector<double>& values, int scale) {
+  double factor = 1.0;
+  for (int i = 0; i < scale; ++i) factor *= 10.0;
+  std::vector<int64_t> scaled(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    scaled[i] = static_cast<int64_t>(std::llround(values[i] * factor));
+  }
+  return EncodeDense(scaled);
+}
+
+}  // namespace mcsort

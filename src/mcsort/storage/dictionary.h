@@ -1,0 +1,68 @@
+// Order-preserving dictionary encoding (Sec. 2, "Column Encoding").
+//
+// All native types — strings, dates, decimals — are encoded as fixed-width
+// unsigned codes whose order matches the native order, so sorting codes
+// sorts the native values. Strings use a sorted dictionary of the column's
+// distinct values [7]; numerics use dense-rank or domain (value - min)
+// encoding; decimals with fixed precision are scaled to integers first.
+#ifndef MCSORT_STORAGE_DICTIONARY_H_
+#define MCSORT_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <vector>
+
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+
+// Sorted dictionary mapping strings <-> dense codes (code = sorted rank).
+class StringDictionary {
+ public:
+  // Builds the dictionary from the distinct values of `values`.
+  static StringDictionary Build(const std::vector<std::string>& values);
+
+  // Code of `value`; the value must be present.
+  Code Encode(const std::string& value) const;
+  // Native value of `code`.
+  const std::string& Decode(Code code) const;
+
+  size_t size() const { return sorted_values_.size(); }
+  // Bits per code: BitsForCount(size()).
+  int code_width() const;
+
+ private:
+  std::vector<std::string> sorted_values_;
+};
+
+// Encodes a string column: builds the dictionary and the code column.
+struct EncodedStringColumn {
+  StringDictionary dictionary;
+  EncodedColumn codes;
+};
+EncodedStringColumn EncodeStrings(const std::vector<std::string>& values);
+
+// Dense-rank encoding of an integer column: code = rank of the value among
+// the column's distinct values (minimal width; the scheme of [30] that
+// gives the paper its 12-bit order_date / 17-bit retail_price examples).
+struct DenseEncoding {
+  EncodedColumn codes;
+  std::vector<int64_t> dictionary;  // code -> native value (sorted)
+};
+DenseEncoding EncodeDense(const std::vector<int64_t>& values);
+
+// Domain encoding of an integer column: code = value - min(values); width
+// covers the value range. Cheaper to decode, wider than dense-rank.
+struct DomainEncoding {
+  EncodedColumn codes;
+  int64_t base = 0;  // native = base + code
+};
+DomainEncoding EncodeDomain(const std::vector<int64_t>& values);
+
+// Scales doubles with `scale` fractional decimal digits to integers and
+// dense-rank encodes them (e.g. prices with 2-digit cents, scale = 2).
+DenseEncoding EncodeDecimal(const std::vector<double>& values, int scale);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_STORAGE_DICTIONARY_H_

@@ -1,0 +1,82 @@
+#include "mcsort/storage/table.h"
+
+#include <utility>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+Table& Table::AddColumn(const std::string& name, EncodedColumn column) {
+  if (columns_.empty() && row_count_ == 0) {
+    row_count_ = column.size();
+  }
+  MCSORT_CHECK(column.size() == row_count_);
+  MCSORT_CHECK(columns_.find(name) == columns_.end());
+  Entry entry;
+  entry.column = std::move(column);
+  columns_.emplace(name, std::move(entry));
+  names_.push_back(name);
+  return *this;
+}
+
+Table& Table::AddStringColumn(const std::string& name,
+                              EncodedStringColumn column) {
+  AddColumn(name, std::move(column.codes));
+  columns_.at(name).dict =
+      std::make_unique<StringDictionary>(std::move(column.dictionary));
+  return *this;
+}
+
+Table& Table::AddDomainColumn(const std::string& name,
+                              DomainEncoding column) {
+  AddColumn(name, std::move(column.codes));
+  columns_.at(name).domain_base = column.base;
+  return *this;
+}
+
+int64_t Table::domain_base(const std::string& name) const {
+  return Find(name).domain_base;
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  return columns_.find(name) != columns_.end();
+}
+
+const Table::Entry& Table::Find(const std::string& name) const {
+  auto it = columns_.find(name);
+  MCSORT_CHECK(it != columns_.end());
+  return it->second;
+}
+
+const EncodedColumn& Table::column(const std::string& name) const {
+  return Find(name).column;
+}
+
+bool Table::HasDictionary(const std::string& name) const {
+  return Find(name).dict != nullptr;
+}
+
+const StringDictionary& Table::dictionary(const std::string& name) const {
+  const Entry& entry = Find(name);
+  MCSORT_CHECK(entry.dict != nullptr);
+  return *entry.dict;
+}
+
+const ColumnStats& Table::stats(const std::string& name) const {
+  const Entry& entry = Find(name);
+  if (entry.stats == nullptr) {
+    entry.stats = std::make_unique<ColumnStats>(ColumnStats::Build(entry.column));
+  }
+  return *entry.stats;
+}
+
+const ByteSliceColumn& Table::byteslice(const std::string& name) const {
+  const Entry& entry = Find(name);
+  if (entry.byteslice == nullptr) {
+    entry.byteslice =
+        std::make_unique<ByteSliceColumn>(ByteSliceColumn::Build(entry.column));
+  }
+  return *entry.byteslice;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,73 @@
+// A table of named encoded columns — the minimal column-store catalog the
+// query engine operates on. In the WideTable execution model ([31], used by
+// the paper's prototype) every query runs against one denormalized table,
+// so there is no join machinery: scans filter, lookups fetch, sorts group.
+#ifndef MCSORT_STORAGE_TABLE_H_
+#define MCSORT_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mcsort/storage/byteslice.h"
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/dictionary.h"
+#include "mcsort/storage/statistics.h"
+
+namespace mcsort {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(size_t row_count) : row_count_(row_count) {}
+
+  size_t row_count() const { return row_count_; }
+
+  // Adds a column; its size must match the table's row count (the first
+  // added column fixes the row count of an empty table). Returns *this for
+  // chaining during dataset construction.
+  Table& AddColumn(const std::string& name, EncodedColumn column);
+  // Adds a dictionary-encoded string column, keeping the dictionary for
+  // decoding results.
+  Table& AddStringColumn(const std::string& name, EncodedStringColumn column);
+  // Adds a domain-encoded numeric column (native = base + code); the base
+  // is kept so aggregates can be computed over native values.
+  Table& AddDomainColumn(const std::string& name, DomainEncoding column);
+
+  bool HasColumn(const std::string& name) const;
+  const EncodedColumn& column(const std::string& name) const;
+  // Names in insertion order.
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  // Dictionary of a string column (CHECK-fails for non-string columns).
+  const StringDictionary& dictionary(const std::string& name) const;
+  bool HasDictionary(const std::string& name) const;
+
+  // Base of a domain-encoded column (0 for all other columns), such that
+  // native value = base + code.
+  int64_t domain_base(const std::string& name) const;
+
+  // Statistics / ByteSlice layout, built lazily on first use and cached.
+  const ColumnStats& stats(const std::string& name) const;
+  const ByteSliceColumn& byteslice(const std::string& name) const;
+
+ private:
+  struct Entry {
+    EncodedColumn column;
+    std::unique_ptr<StringDictionary> dict;
+    int64_t domain_base = 0;
+    mutable std::unique_ptr<ColumnStats> stats;
+    mutable std::unique_ptr<ByteSliceColumn> byteslice;
+  };
+
+  const Entry& Find(const std::string& name) const;
+
+  size_t row_count_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Entry> columns_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_STORAGE_TABLE_H_

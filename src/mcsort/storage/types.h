@@ -1,0 +1,42 @@
+// Core storage types shared across the library.
+#ifndef MCSORT_STORAGE_TYPES_H_
+#define MCSORT_STORAGE_TYPES_H_
+
+#include <cstdint>
+
+namespace mcsort {
+
+// Object identifier (row position). The paper's experiments use up to
+// N = 2^24 rows; 32 bits leaves ample headroom.
+using Oid = uint32_t;
+
+// An encoded column value. Codes are unsigned, order-preserving, and at
+// most 64 bits wide (the widest AVX2 bank).
+using Code = uint64_t;
+
+// Physical representation classes for encoded columns, chosen from the code
+// width via SizeOfWidth(): <=16 bits -> kU16, <=32 -> kU32, else kU64.
+// (Widths <= 8 also use kU16: there is no 8-bit SIMD-sort bank.)
+enum class PhysicalType { kU16, kU32, kU64 };
+
+constexpr PhysicalType PhysicalTypeForWidth(int width) {
+  if (width <= 16) return PhysicalType::kU16;
+  if (width <= 32) return PhysicalType::kU32;
+  return PhysicalType::kU64;
+}
+
+constexpr int BytesOfPhysicalType(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kU16: return 2;
+    case PhysicalType::kU32: return 4;
+    case PhysicalType::kU64: return 8;
+  }
+  return 8;
+}
+
+// Sort direction for one attribute of an ORDER BY clause.
+enum class SortOrder { kAscending, kDescending };
+
+}  // namespace mcsort
+
+#endif  // MCSORT_STORAGE_TYPES_H_

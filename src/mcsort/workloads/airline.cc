@@ -1,0 +1,123 @@
+// "Real data" workload: the Airline Origin and Destination Survey (BTS
+// DB1B) — paper Table 4 schema and Table 5 queries. The public 4 GB dump
+// is replaced by a synthetic generator with the survey's schema and
+// realistic domains/cardinalities (see DESIGN.md's substitution table);
+// the five queries are the paper's Q1-Q5 verbatim.
+#include <algorithm>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/workloads/generators.h"
+#include "mcsort/workloads/workload.h"
+
+namespace mcsort {
+
+Workload MakeAirline(const WorkloadOptions& options) {
+  Workload workload;
+  workload.name = "Airline";
+  Rng rng(options.seed + 0xA1);
+  const double sf = options.scale;
+  const double theta = options.skew ? options.zipf_theta : 0.0;
+
+  const size_t tickets = static_cast<size_t>(std::max(2000.0, 3000000.0 * sf));
+  const size_t markets = static_cast<size_t>(std::max(2000.0, 4500000.0 * sf));
+  constexpr uint64_t kAirports = 400;
+  constexpr uint64_t kStates = 52;
+  constexpr uint64_t kCarriers = 15;
+  constexpr uint64_t kQuarters = 4;
+  constexpr uint64_t kYears = 10;
+  constexpr uint64_t kDistanceGroups = 12;
+  constexpr uint64_t kGeoTypes = 3;
+
+  auto per_row = [&](size_t n, uint64_t domain) {
+    return options.skew
+               ? SkewedColumn(n, domain, domain, options.zipf_theta, rng)
+               : UniformColumn(n, domain, rng);
+  };
+
+  {  // Ticket
+    const std::vector<uint32_t> airport =
+        DrawKeys(tickets, kAirports, theta > 0 ? theta : 0.8, rng);
+    const std::vector<Code> airport_state =
+        EntityAttribute(kAirports, kStates, rng);
+
+    Table table(tickets);
+    table.AddColumn("Year", per_row(tickets, kYears));
+    table.AddColumn("Quarter", per_row(tickets, kQuarters));
+    table.AddColumn("OriginAirportID", KeyColumn(airport, kAirports));
+    table.AddColumn("OriginStateName",
+                    MappedColumn(airport, airport_state, kStates));
+    table.AddColumn("RoundTrip", per_row(tickets, 2));
+    table.AddColumn("DollarCred", per_row(tickets, 2));
+    table.AddColumn("FarePerMile", per_row(tickets, 1 << 17));
+    table.AddColumn("RPCarrier", per_row(tickets, kCarriers));
+    table.AddColumn("Passengers", per_row(tickets, 10));
+    table.AddColumn("Distance", per_row(tickets, 1 << 13));
+    table.AddColumn("DistanceGroup", per_row(tickets, kDistanceGroups));
+    table.AddColumn("ItinGeoType", per_row(tickets, kGeoTypes));
+    workload.tables.emplace("Ticket", std::move(table));
+  }
+  {  // Market
+    Table table(markets);
+    table.AddColumn("OriginAirportID",
+                    KeyColumn(DrawKeys(markets, kAirports,
+                                       theta > 0 ? theta : 0.8, rng),
+                              kAirports));
+    table.AddColumn("DestAirportID",
+                    KeyColumn(DrawKeys(markets, kAirports,
+                                       theta > 0 ? theta : 0.8, rng),
+                              kAirports));
+    table.AddColumn("OpCarrier", per_row(markets, kCarriers));
+    table.AddColumn("Passengers", per_row(markets, 10));
+    table.AddColumn("MktFare", per_row(markets, 1 << 17));
+    table.AddColumn("MktDistance", per_row(markets, 1 << 13));
+    table.AddColumn("MktDistanceGroup", per_row(markets, kDistanceGroups));
+    table.AddColumn("MktMilesFlown", per_row(markets, 1 << 13));
+    table.AddColumn("ItinGeoType", per_row(markets, kGeoTypes));
+    workload.tables.emplace("Market", std::move(table));
+  }
+
+  const auto add = [&](const char* id, const char* tbl, QuerySpec spec) {
+    spec.id = id;
+    workload.queries.push_back({id, tbl, std::move(spec)});
+  };
+
+  {  // Q1: credibility vs fare-per-mile in one state (ORDER BY 2 attrs)
+    QuerySpec q;
+    q.filters = {{"OriginStateName", CompareOp::kEq, 43}};  // 'Texas'
+    q.order_by = {{"DollarCred", SortOrder::kAscending},
+                  {"FarePerMile", SortOrder::kAscending}};
+    add("Q1", "Ticket", std::move(q));
+  }
+  {  // Q2: passengers rank per (airport, distance group)
+    QuerySpec q;
+    q.filters = {{"ItinGeoType", CompareOp::kEq, 1}};
+    q.partition_by = {"OriginAirportID", "DistanceGroup"};
+    q.window_order_column = "Passengers";
+    add("Q2", "Ticket", std::move(q));
+  }
+  {  // Q3: average passengers per carrier/state/trip/distance group
+    QuerySpec q;
+    q.group_by = {"RPCarrier", "OriginStateName", "RoundTrip",
+                  "DistanceGroup"};
+    q.aggregates = {{AggOp::kAvg, "Passengers"}};
+    add("Q3", "Ticket", std::move(q));
+  }
+  {  // Q4: average fare per airport pair for one carrier
+    QuerySpec q;
+    q.filters = {{"OpCarrier", CompareOp::kEq, 6}};  // 'B6'
+    q.group_by = {"OriginAirportID", "DestAirportID"};
+    q.aggregates = {{AggOp::kAvg, "MktFare"}};
+    add("Q4", "Market", std::move(q));
+  }
+  {  // Q5: market fare rank per carrier and itinerary type
+    QuerySpec q;
+    q.filters = {{"MktDistanceGroup", CompareOp::kEq, 1}};
+    q.partition_by = {"OpCarrier", "ItinGeoType"};
+    q.window_order_column = "MktFare";
+    add("Q5", "Market", std::move(q));
+  }
+
+  return workload;
+}
+
+}  // namespace mcsort

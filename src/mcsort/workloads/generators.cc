@@ -1,0 +1,69 @@
+#include "mcsort/workloads/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+std::vector<uint32_t> DrawKeys(size_t n, uint64_t cardinality,
+                               double zipf_theta, Rng& rng) {
+  MCSORT_CHECK(cardinality >= 1);
+  std::vector<uint32_t> keys(n);
+  if (zipf_theta > 0) {
+    ZipfGenerator zipf(cardinality, zipf_theta);
+    // Permute ranks so hot values are scattered across the code domain.
+    std::vector<uint32_t> perm(cardinality);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (size_t i = cardinality; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+    }
+    for (auto& k : keys) k = perm[zipf.Next(rng)];
+  } else {
+    for (auto& k : keys) k = static_cast<uint32_t>(rng.NextBounded(cardinality));
+  }
+  return keys;
+}
+
+std::vector<Code> EntityAttribute(uint64_t cardinality, uint64_t domain,
+                                  Rng& rng) {
+  std::vector<Code> attr(cardinality);
+  for (auto& v : attr) v = rng.NextBounded(domain);
+  return attr;
+}
+
+EncodedColumn KeyColumn(const std::vector<uint32_t>& keys,
+                        uint64_t cardinality) {
+  EncodedColumn col(BitsForCount(cardinality), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) col.Set(i, keys[i]);
+  return col;
+}
+
+EncodedColumn MappedColumn(const std::vector<uint32_t>& keys,
+                           const std::vector<Code>& attr, uint64_t domain) {
+  EncodedColumn col(BitsForValue(domain - 1), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) col.Set(i, attr[keys[i]]);
+  return col;
+}
+
+EncodedColumn UniformColumn(size_t n, uint64_t domain, Rng& rng) {
+  EncodedColumn col(BitsForValue(domain - 1), n);
+  for (size_t i = 0; i < n; ++i) col.Set(i, rng.NextBounded(domain));
+  return col;
+}
+
+EncodedColumn SkewedColumn(size_t n, uint64_t distinct, uint64_t domain,
+                           double zipf_theta, Rng& rng) {
+  MCSORT_CHECK(distinct >= 1 && distinct <= domain);
+  ZipfGenerator zipf(distinct, zipf_theta);
+  const uint64_t stride = domain / distinct;
+  EncodedColumn col(BitsForValue(domain - 1), n);
+  for (size_t i = 0; i < n; ++i) {
+    col.Set(i, zipf.Next(rng) * stride);
+  }
+  return col;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,46 @@
+// Column-generation helpers shared by the workload builders.
+//
+// Denormalized tables are built the way real WideTables look after a
+// pre-join: per-row *foreign keys* are drawn (uniform or Zipf), and entity
+// attributes are functions of those keys, so attribute columns of the same
+// entity are correlated exactly as in joined data.
+#ifndef MCSORT_WORKLOADS_GENERATORS_H_
+#define MCSORT_WORKLOADS_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsort/common/random.h"
+#include "mcsort/common/zipf.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+
+// Draws n keys in [0, cardinality); zipf_theta > 0 applies Zipf skew over
+// a randomly permuted rank order (so the hot keys are not the smallest
+// codes).
+std::vector<uint32_t> DrawKeys(size_t n, uint64_t cardinality,
+                               double zipf_theta, Rng& rng);
+
+// One attribute value per entity, uniform over [0, domain).
+std::vector<Code> EntityAttribute(uint64_t cardinality, uint64_t domain,
+                                  Rng& rng);
+
+// Column whose row r holds keys[r]; width = BitsForCount(cardinality).
+EncodedColumn KeyColumn(const std::vector<uint32_t>& keys,
+                        uint64_t cardinality);
+
+// Column whose row r holds attr[keys[r]]; width covers `domain`.
+EncodedColumn MappedColumn(const std::vector<uint32_t>& keys,
+                           const std::vector<Code>& attr, uint64_t domain);
+
+// Independent uniform column over [0, domain).
+EncodedColumn UniformColumn(size_t n, uint64_t domain, Rng& rng);
+
+// Independent Zipf column with `distinct` ranks spread over [0, domain).
+EncodedColumn SkewedColumn(size_t n, uint64_t distinct, uint64_t domain,
+                           double zipf_theta, Rng& rng);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_WORKLOADS_GENERATORS_H_

@@ -1,0 +1,276 @@
+// TPC-H(-like) workload: the 9 of 22 queries whose GROUP BY and/or ORDER BY
+// clauses have multiple attributes (Q1, Q2, Q3, Q7, Q9, Q10, Q13, Q16,
+// Q18 — Sec. 1/6 of the paper). Tables are WideTables at the grain each
+// query scans:
+//   lineitem_wide  — lineitem joined with orders and customer,
+//   partsupp_wide  — partsupp joined with part and supplier,
+//   customer_agg   — the per-customer order counts Q13's outer query sees.
+//
+// The skew variant applies Zipf(z) to the foreign-key draws and the
+// per-row attribute columns (the Chaudhuri-Narasayya skewed dbgen).
+#include <cmath>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/workloads/generators.h"
+#include "mcsort/workloads/workload.h"
+
+namespace mcsort {
+namespace {
+
+size_t ScaledRows(double base, double sf, size_t floor_rows) {
+  const double rows = base * sf;
+  return rows < static_cast<double>(floor_rows)
+             ? floor_rows
+             : static_cast<size_t>(rows);
+}
+
+}  // namespace
+
+Workload MakeTpch(const WorkloadOptions& options) {
+  Workload workload;
+  workload.name = options.skew ? "TPC-H skew" : "TPC-H";
+  Rng rng(options.seed);
+  const double sf = options.scale;
+  const double theta = options.skew ? options.zipf_theta : 0.0;
+
+  const uint64_t customers = ScaledRows(150000, sf, 200);
+  const uint64_t orders = ScaledRows(1500000, sf, 500);
+  const uint64_t parts = ScaledRows(200000, sf, 200);
+  const uint64_t suppliers = ScaledRows(10000, sf, 50);
+  const size_t lineitems = ScaledRows(6000000, sf, 2000);
+  const size_t partsupps = ScaledRows(800000, sf, 1000);
+  constexpr uint64_t kShipDates = 2526;   // 1992-01-02 .. 1998-12-01
+  constexpr uint64_t kOrderDates = 2406;  // 1992-01-01 .. 1998-08-02
+  constexpr uint64_t kNations = 25;
+  constexpr uint64_t kYears = 7;
+
+  // ---------------------------------------------------------------- //
+  // lineitem_wide
+  // ---------------------------------------------------------------- //
+  {
+    // Per-order and per-customer attributes (entity tables of the join).
+    const std::vector<Code> o_custkey = EntityAttribute(orders, customers, rng);
+    const std::vector<Code> o_date = EntityAttribute(orders, kOrderDates, rng);
+    const std::vector<Code> o_total =
+        EntityAttribute(orders, std::max<uint64_t>(orders, 1 << 17), rng);
+    const std::vector<Code> c_name = EntityAttribute(customers, customers, rng);
+    const std::vector<Code> c_acctbal =
+        EntityAttribute(customers, 1100000, rng);
+    const std::vector<Code> c_phone = EntityAttribute(customers, customers, rng);
+    const std::vector<Code> c_address =
+        EntityAttribute(customers, customers, rng);
+    const std::vector<Code> c_comment =
+        EntityAttribute(customers, customers, rng);
+    const std::vector<Code> c_nation = EntityAttribute(customers, kNations, rng);
+
+    const std::vector<uint32_t> okeys = DrawKeys(lineitems, orders, theta, rng);
+    std::vector<uint32_t> ckeys(lineitems);
+    for (size_t i = 0; i < lineitems; ++i) {
+      ckeys[i] = static_cast<uint32_t>(o_custkey[okeys[i]]);
+    }
+
+    auto per_row = [&](uint64_t domain) {
+      return options.skew
+                 ? SkewedColumn(lineitems, domain, domain, options.zipf_theta,
+                                rng)
+                 : UniformColumn(lineitems, domain, rng);
+    };
+
+    Table table(lineitems);
+    table.AddColumn("l_returnflag", per_row(3));
+    table.AddColumn("l_linestatus", per_row(2));
+    table.AddColumn("l_quantity", per_row(50));
+    table.AddColumn("l_discount", per_row(11));
+    table.AddColumn("l_tax", per_row(9));
+    EncodedColumn shipdate = per_row(kShipDates);
+    // l_year / o_year: the EXTRACT(year ...) of the dates.
+    EncodedColumn l_year(BitsForCount(kYears), lineitems);
+    for (size_t i = 0; i < lineitems; ++i) {
+      l_year.Set(i, shipdate.Get(i) * kYears / kShipDates);
+    }
+    EncodedColumn o_orderdate(BitsForCount(kOrderDates), lineitems);
+    EncodedColumn o_year(BitsForCount(kYears), lineitems);
+    for (size_t i = 0; i < lineitems; ++i) {
+      const Code d = o_date[okeys[i]];
+      o_orderdate.Set(i, d);
+      o_year.Set(i, d * kYears / kOrderDates);
+    }
+    table.AddColumn("l_shipdate", std::move(shipdate));
+    table.AddColumn("l_year", std::move(l_year));
+    table.AddColumn("l_extendedprice", per_row(1 << 20));
+    table.AddColumn("revenue", per_row(1 << 20));
+    table.AddColumn("l_orderkey", KeyColumn(okeys, orders));
+    table.AddColumn("o_orderdate", std::move(o_orderdate));
+    table.AddColumn("o_year", std::move(o_year));
+    table.AddColumn("o_totalprice",
+                    MappedColumn(okeys, o_total,
+                                 std::max<uint64_t>(orders, 1 << 17)));
+    // o_shippriority is constant in TPC-H data (one distinct value).
+    table.AddColumn("o_shippriority", EncodedColumn(1, lineitems));
+    table.AddColumn("c_custkey", KeyColumn(ckeys, customers));
+    table.AddColumn("c_name", MappedColumn(ckeys, c_name, customers));
+    table.AddColumn("c_acctbal", MappedColumn(ckeys, c_acctbal, 1100000));
+    table.AddColumn("c_phone", MappedColumn(ckeys, c_phone, customers));
+    table.AddColumn("c_address", MappedColumn(ckeys, c_address, customers));
+    table.AddColumn("c_comment", MappedColumn(ckeys, c_comment, customers));
+    table.AddColumn("n_name", MappedColumn(ckeys, c_nation, kNations));
+    table.AddColumn("cust_nation", MappedColumn(ckeys, c_nation, kNations));
+    table.AddColumn("supp_nation", per_row(kNations));
+    workload.tables.emplace("lineitem_wide", std::move(table));
+  }
+
+  // ---------------------------------------------------------------- //
+  // partsupp_wide
+  // ---------------------------------------------------------------- //
+  {
+    const std::vector<Code> p_brand = EntityAttribute(parts, 25, rng);
+    const std::vector<Code> p_type = EntityAttribute(parts, 150, rng);
+    const std::vector<Code> p_size = EntityAttribute(parts, 50, rng);
+    const std::vector<Code> s_name = EntityAttribute(suppliers, suppliers, rng);
+    const std::vector<Code> s_acctbal =
+        EntityAttribute(suppliers, 1100000, rng);
+    const std::vector<Code> s_nation = EntityAttribute(suppliers, kNations, rng);
+
+    const std::vector<uint32_t> pkeys = DrawKeys(partsupps, parts, theta, rng);
+    const std::vector<uint32_t> skeys =
+        DrawKeys(partsupps, suppliers, theta, rng);
+
+    Table table(partsupps);
+    table.AddColumn("p_partkey", KeyColumn(pkeys, parts));
+    table.AddColumn("p_brand", MappedColumn(pkeys, p_brand, 25));
+    table.AddColumn("p_type", MappedColumn(pkeys, p_type, 150));
+    table.AddColumn("p_size", MappedColumn(pkeys, p_size, 50));
+    table.AddColumn("s_name", MappedColumn(skeys, s_name, suppliers));
+    table.AddColumn("s_acctbal", MappedColumn(skeys, s_acctbal, 1100000));
+    table.AddColumn("n_name", MappedColumn(skeys, s_nation, kNations));
+    table.AddColumn("ps_supplycost", UniformColumn(partsupps, 1 << 17, rng));
+    workload.tables.emplace("partsupp_wide", std::move(table));
+  }
+
+  // ---------------------------------------------------------------- //
+  // customer_agg (Q13's per-customer order counts)
+  // ---------------------------------------------------------------- //
+  {
+    Table table(customers);
+    // c_count: orders per customer; ~10 on average with a spike at 0
+    // (customers without orders), like Q13's distribution.
+    EncodedColumn c_count(6, customers);
+    for (uint64_t i = 0; i < customers; ++i) {
+      const uint64_t v = rng.NextBounded(100) < 30
+                             ? 0
+                             : 1 + rng.NextBounded(40);
+      c_count.Set(i, v);
+    }
+    table.AddColumn("c_count", std::move(c_count));
+    workload.tables.emplace("customer_agg", std::move(table));
+  }
+
+  // ---------------------------------------------------------------- //
+  // Queries
+  // ---------------------------------------------------------------- //
+  const auto add = [&](const char* id, const char* tbl, QuerySpec spec) {
+    spec.id = id;
+    workload.queries.push_back({id, tbl, std::move(spec)});
+  };
+
+  {  // Q1: pricing summary report
+    QuerySpec q;
+    q.filters = {{"l_shipdate", CompareOp::kLessEq,
+                  static_cast<Code>(kShipDates * 95 / 100)}};
+    q.group_by = {"l_returnflag", "l_linestatus"};
+    q.aggregates = {{AggOp::kSum, "l_quantity"},
+                    {AggOp::kSum, "l_extendedprice"},
+                    {AggOp::kSum, "revenue"},
+                    {AggOp::kAvg, "l_quantity"},
+                    {AggOp::kCount, ""}};
+    q.result_order = {{"l_returnflag", SortOrder::kAscending},
+                      {"l_linestatus", SortOrder::kAscending}};
+    add("Q1", "lineitem_wide", std::move(q));
+  }
+  {  // Q2: minimum cost supplier (ORDER BY 4 attributes)
+    QuerySpec q;
+    q.filters = {{"p_size", CompareOp::kEq, 15},
+                 {"p_type", CompareOp::kGreaterEq, 100}};
+    q.order_by = {{"s_acctbal", SortOrder::kDescending},
+                  {"n_name", SortOrder::kAscending},
+                  {"s_name", SortOrder::kAscending},
+                  {"p_partkey", SortOrder::kAscending}};
+    add("Q2", "partsupp_wide", std::move(q));
+  }
+  {  // Q3: shipping priority
+    QuerySpec q;
+    q.filters = {{"l_shipdate", CompareOp::kGreater,
+                  static_cast<Code>(kShipDates * 40 / 100)}};
+    q.group_by = {"l_orderkey", "o_orderdate", "o_shippriority"};
+    q.aggregates = {{AggOp::kSum, "revenue"}};
+    q.result_order = {{"agg:0", SortOrder::kDescending},
+                      {"o_orderdate", SortOrder::kAscending}};
+    add("Q3", "lineitem_wide", std::move(q));
+  }
+  {  // Q7: volume shipping
+    QuerySpec q;
+    q.filters = {{"l_shipdate", CompareOp::kEq, 0, true,
+                  static_cast<Code>(kShipDates * 70 / 100)}};
+    q.filters[0].literal = static_cast<Code>(kShipDates * 42 / 100);
+    q.group_by = {"supp_nation", "cust_nation", "l_year"};
+    q.aggregates = {{AggOp::kSum, "revenue"}};
+    q.result_order = {{"supp_nation", SortOrder::kAscending},
+                      {"cust_nation", SortOrder::kAscending},
+                      {"l_year", SortOrder::kAscending}};
+    add("Q7", "lineitem_wide", std::move(q));
+  }
+  {  // Q9: product type profit measure
+    QuerySpec q;
+    q.group_by = {"supp_nation", "o_year"};
+    q.aggregates = {{AggOp::kSum, "revenue"}};
+    q.result_order = {{"supp_nation", SortOrder::kAscending},
+                      {"o_year", SortOrder::kDescending}};
+    add("Q9", "lineitem_wide", std::move(q));
+  }
+  {  // Q10: returned item reporting (GROUP BY 7 attributes)
+    QuerySpec q;
+    q.filters = {{"o_orderdate", CompareOp::kEq,
+                  static_cast<Code>(kOrderDates * 60 / 100), true,
+                  static_cast<Code>(kOrderDates * 64 / 100)},
+                 {"l_returnflag", CompareOp::kEq, 2}};
+    q.group_by = {"c_custkey", "c_name",    "c_acctbal", "c_phone",
+                  "n_name",    "c_address", "c_comment"};
+    q.aggregates = {{AggOp::kSum, "revenue"}};
+    q.result_order = {{"agg:0", SortOrder::kDescending}};
+    add("Q10", "lineitem_wide", std::move(q));
+  }
+  {  // Q13: customer distribution (single-attribute GROUP BY, then a
+     //      two-attribute ORDER BY over the aggregated result)
+    QuerySpec q;
+    q.group_by = {"c_count"};
+    q.aggregates = {{AggOp::kCount, ""}};
+    q.result_order = {{"agg:0", SortOrder::kDescending},
+                      {"c_count", SortOrder::kDescending}};
+    add("Q13", "customer_agg", std::move(q));
+  }
+  {  // Q16: parts/supplier relationship (GROUP BY 3 attributes)
+    QuerySpec q;
+    q.filters = {{"p_brand", CompareOp::kNeq, 11},
+                 {"p_size", CompareOp::kEq, 1, true, 35}};
+    q.group_by = {"p_brand", "p_type", "p_size"};
+    q.aggregates = {{AggOp::kCount, ""}};
+    q.result_order = {{"agg:0", SortOrder::kDescending},
+                      {"p_brand", SortOrder::kAscending},
+                      {"p_type", SortOrder::kAscending},
+                      {"p_size", SortOrder::kAscending}};
+    add("Q16", "partsupp_wide", std::move(q));
+  }
+  {  // Q18: large volume customer (GROUP BY 5 attributes)
+    QuerySpec q;
+    q.group_by = {"c_name", "c_custkey", "l_orderkey", "o_orderdate",
+                  "o_totalprice"};
+    q.aggregates = {{AggOp::kSum, "l_quantity"}};
+    q.result_order = {{"o_totalprice", SortOrder::kDescending},
+                      {"o_orderdate", SortOrder::kAscending}};
+    add("Q18", "lineitem_wide", std::move(q));
+  }
+
+  return workload;
+}
+
+}  // namespace mcsort

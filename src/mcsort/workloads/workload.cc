@@ -1,0 +1,24 @@
+#include "mcsort/workloads/workload.h"
+
+#include <cstdlib>
+
+#include "mcsort/common/logging.h"
+
+namespace mcsort {
+
+const WorkloadQuery& Workload::query(const std::string& id) const {
+  for (const WorkloadQuery& q : queries) {
+    if (q.id == id) return q;
+  }
+  MCSORT_CHECK(false && "unknown query id");
+  __builtin_unreachable();
+}
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("MCSORT_SF");
+  if (env == nullptr) return 0.1;
+  const double sf = std::atof(env);
+  return sf > 0 ? sf : 0.1;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,83 @@
+// Tests for the BitWeaving/V layout: stitch round trips, scan correctness
+// against a scalar reference and against ByteSlice, for all ops/widths.
+#include "mcsort/scan/bitweaving_scan.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/scan/byteslice_scan.h"
+
+namespace mcsort {
+namespace {
+
+EncodedColumn RandomColumn(int width, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  EncodedColumn col(width, n);
+  for (size_t i = 0; i < n; ++i) col.Set(i, rng.Next() & LowBitsMask(width));
+  return col;
+}
+
+TEST(BitWeavingTest, StitchRoundTrips) {
+  for (int width : {1, 5, 8, 13, 17, 29, 33, 50, 64}) {
+    const EncodedColumn col = RandomColumn(width, 300, 7 * width);
+    const BitWeavingColumn bw = BitWeavingColumn::Build(col);
+    EXPECT_EQ(bw.width(), width);
+    for (size_t i = 0; i < col.size(); ++i) {
+      ASSERT_EQ(bw.StitchCode(i), col.Get(i)) << "width " << width;
+    }
+  }
+}
+
+TEST(BitWeavingTest, ScanMatchesScalarReferenceAllOps) {
+  Rng rng(3);
+  for (int width : {4, 9, 12, 17, 21, 33}) {
+    const size_t n = 2000 + rng.NextBounded(100);  // straddle word bounds
+    const EncodedColumn col = RandomColumn(width, n, 100 + width);
+    const BitWeavingColumn bw = BitWeavingColumn::Build(col);
+    for (int trial = 0; trial < 3; ++trial) {
+      const Code literal = rng.Next() & LowBitsMask(width);
+      for (CompareOp op :
+           {CompareOp::kLess, CompareOp::kLessEq, CompareOp::kEq,
+            CompareOp::kNeq, CompareOp::kGreaterEq, CompareOp::kGreater}) {
+        BitVector result;
+        BitWeavingScan(bw, op, literal, &result);
+        for (size_t i = 0; i < n; ++i) {
+          const Code v = col.Get(i);
+          bool expected = false;
+          switch (op) {
+            case CompareOp::kLess: expected = v < literal; break;
+            case CompareOp::kLessEq: expected = v <= literal; break;
+            case CompareOp::kEq: expected = v == literal; break;
+            case CompareOp::kNeq: expected = v != literal; break;
+            case CompareOp::kGreaterEq: expected = v >= literal; break;
+            case CompareOp::kGreater: expected = v > literal; break;
+          }
+          ASSERT_EQ(result.Get(i), expected)
+              << "w=" << width << " op=" << static_cast<int>(op) << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BitWeavingTest, AgreesWithByteSliceScan) {
+  const EncodedColumn col = RandomColumn(19, 5000, 42);
+  const BitWeavingColumn bw = BitWeavingColumn::Build(col);
+  const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+  for (Code literal : {Code{0}, Code{1234}, LowBitsMask(19)}) {
+    for (CompareOp op : {CompareOp::kLess, CompareOp::kGreaterEq}) {
+      BitVector bw_result, bs_result;
+      BitWeavingScan(bw, op, literal, &bw_result);
+      ByteSliceScan(bs, op, literal, &bs_result);
+      ASSERT_EQ(bw_result.CountOnes(), bs_result.CountOnes());
+      for (size_t i = 0; i < col.size(); ++i) {
+        ASSERT_EQ(bw_result.Get(i), bs_result.Get(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsort

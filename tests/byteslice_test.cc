@@ -1,0 +1,188 @@
+// Tests for the ByteSlice layout and its SIMD scan with early stopping.
+#include "mcsort/storage/byteslice.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/scan/byteslice_scan.h"
+
+namespace mcsort {
+namespace {
+
+EncodedColumn RandomColumn(int width, size_t n, uint64_t seed,
+                           uint64_t distinct = 0) {
+  Rng rng(seed);
+  EncodedColumn col(width, n);
+  const uint64_t domain = LowBitsMask(width) + 1;
+  const uint64_t d = distinct == 0 ? domain : std::min(distinct, domain);
+  for (size_t i = 0; i < n; ++i) col.Set(i, rng.NextBounded(d));
+  return col;
+}
+
+TEST(ByteSliceTest, SliceCountMatchesWidth) {
+  EXPECT_EQ(ByteSliceColumn::Build(EncodedColumn(7, 4)).num_slices(), 1);
+  EXPECT_EQ(ByteSliceColumn::Build(EncodedColumn(8, 4)).num_slices(), 1);
+  EXPECT_EQ(ByteSliceColumn::Build(EncodedColumn(9, 4)).num_slices(), 2);
+  EXPECT_EQ(ByteSliceColumn::Build(EncodedColumn(17, 4)).num_slices(), 3);
+  EXPECT_EQ(ByteSliceColumn::Build(EncodedColumn(33, 4)).num_slices(), 5);
+}
+
+TEST(ByteSliceTest, StitchRoundTripsEveryWidth) {
+  for (int width : {1, 7, 8, 9, 12, 16, 17, 24, 31, 33, 48, 64}) {
+    EncodedColumn col = RandomColumn(width, 500, 100 + width);
+    const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+    for (size_t i = 0; i < col.size(); ++i) {
+      ASSERT_EQ(bs.StitchCode(i), col.Get(i)) << "width " << width;
+    }
+  }
+}
+
+TEST(ByteSliceTest, PaddedCodesPreserveOrder) {
+  // Padded (left-aligned) byte-wise lexicographic order must equal the
+  // numeric code order — the property early stopping relies on.
+  EncodedColumn col(12, 3);
+  col.Set(0, 0x0FF);
+  col.Set(1, 0x100);
+  col.Set(2, 0x0FE);
+  const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+  EXPECT_LT(bs.PadCode(col.Get(2)), bs.PadCode(col.Get(0)));
+  EXPECT_LT(bs.PadCode(col.Get(0)), bs.PadCode(col.Get(1)));
+}
+
+struct ScanCase {
+  int width;
+  size_t n;
+  uint64_t distinct;
+};
+
+class ByteSliceScanTest : public ::testing::TestWithParam<ScanCase> {};
+
+TEST_P(ByteSliceScanTest, AllOpsMatchScalarReference) {
+  const ScanCase c = GetParam();
+  EncodedColumn col = RandomColumn(c.width, c.n, 7 * c.width, c.distinct);
+  const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+  Rng rng(c.width);
+  const uint64_t domain = LowBitsMask(c.width) + 1;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Code literal =
+        rng.NextBounded(c.distinct == 0 ? domain
+                                        : std::min(c.distinct + 1, domain));
+    for (CompareOp op : {CompareOp::kLess, CompareOp::kLessEq, CompareOp::kEq,
+                         CompareOp::kNeq, CompareOp::kGreaterEq,
+                         CompareOp::kGreater}) {
+      BitVector result;
+      ByteSliceScan(bs, op, literal, &result);
+      ASSERT_EQ(result.size(), c.n);
+      for (size_t i = 0; i < c.n; ++i) {
+        const Code v = col.Get(i);
+        bool expected = false;
+        switch (op) {
+          case CompareOp::kLess: expected = v < literal; break;
+          case CompareOp::kLessEq: expected = v <= literal; break;
+          case CompareOp::kEq: expected = v == literal; break;
+          case CompareOp::kNeq: expected = v != literal; break;
+          case CompareOp::kGreaterEq: expected = v >= literal; break;
+          case CompareOp::kGreater: expected = v > literal; break;
+        }
+        ASSERT_EQ(result.Get(i), expected)
+            << "op " << static_cast<int>(op) << " row " << i;
+      }
+    }
+  }
+}
+
+TEST_P(ByteSliceScanTest, BetweenMatchesScalarReference) {
+  const ScanCase c = GetParam();
+  EncodedColumn col = RandomColumn(c.width, c.n, 11 * c.width, c.distinct);
+  const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+  Rng rng(c.width + 1);
+  const uint64_t domain = LowBitsMask(c.width) + 1;
+  for (int trial = 0; trial < 4; ++trial) {
+    Code lo = rng.NextBounded(domain);
+    Code hi = rng.NextBounded(domain);
+    if (lo > hi) std::swap(lo, hi);
+    BitVector result;
+    ByteSliceScanBetween(bs, lo, hi, &result);
+    for (size_t i = 0; i < c.n; ++i) {
+      const Code v = col.Get(i);
+      ASSERT_EQ(result.Get(i), v >= lo && v <= hi) << "row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSizes, ByteSliceScanTest,
+    ::testing::Values(ScanCase{5, 1000, 0}, ScanCase{8, 997, 0},
+                      ScanCase{12, 4096, 100}, ScanCase{16, 2048, 0},
+                      ScanCase{17, 333, 50}, ScanCase{23, 5000, 0},
+                      ScanCase{32, 1024, 2000}, ScanCase{41, 2000, 0},
+                      ScanCase{64, 1500, 300}, ScanCase{9, 31, 0},
+                      ScanCase{13, 32, 0}, ScanCase{21, 33, 4}),
+    [](const ::testing::TestParamInfo<ScanCase>& info) {
+      return "w" + std::to_string(info.param.width) + "_n" +
+             std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.distinct);
+    });
+
+TEST(ByteSliceScanTest, ParallelScanMatchesSequential) {
+  EncodedColumn col = RandomColumn(21, 200000, 55);
+  const ByteSliceColumn bs = ByteSliceColumn::Build(col);
+  ThreadPool pool(4);
+  const Code literal = LowBitsMask(21) / 2;
+  for (CompareOp op : {CompareOp::kLess, CompareOp::kEq, CompareOp::kNeq}) {
+    BitVector seq, par;
+    ByteSliceScan(bs, op, literal, &seq);
+    ByteSliceScan(bs, op, literal, &par, &pool);
+    ASSERT_EQ(seq.CountOnes(), par.CountOnes());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_EQ(seq.Get(i), par.Get(i)) << i;
+    }
+  }
+  BitVector seq, par;
+  ByteSliceScanBetween(bs, 1000, 2000000, &seq);
+  ByteSliceScanBetween(bs, 1000, 2000000, &par, &pool);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq.Get(i), par.Get(i)) << i;
+  }
+}
+
+TEST(BitVectorTest, BasicOps) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  EXPECT_TRUE(bv.Get(63));
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  std::vector<Oid> oids;
+  bv.ToOidList(&oids);
+  EXPECT_EQ(oids, (std::vector<Oid>{0, 64, 99}));
+}
+
+TEST(BitVectorTest, SetAllRespectsLogicalSize) {
+  BitVector bv(70);
+  bv.SetAll();
+  EXPECT_EQ(bv.CountOnes(), 70u);
+}
+
+TEST(BitVectorTest, AndOr) {
+  BitVector a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  BitVector c = a;
+  a.And(b);
+  EXPECT_EQ(a.CountOnes(), 1u);
+  EXPECT_TRUE(a.Get(2));
+  c.Or(b);
+  EXPECT_EQ(c.CountOnes(), 3u);
+}
+
+}  // namespace
+}  // namespace mcsort

@@ -1,0 +1,269 @@
+// End-to-end tests of the multi-column sort executor: every valid massage
+// plan of an instance must produce the same sorted tuple sequence and the
+// same final grouping as a reference comparator sort (Lemma 1), for
+// uniform, skewed, and correlated data, and mixed ASC/DESC.
+#include "mcsort/engine/multi_column_sorter.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/common/zipf.h"
+
+namespace mcsort {
+namespace {
+
+struct Instance {
+  std::vector<EncodedColumn> columns;
+  std::vector<SortOrder> orders;
+
+  std::vector<MassageInput> Inputs() const {
+    std::vector<MassageInput> inputs;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      inputs.push_back({&columns[c], orders[c]});
+    }
+    return inputs;
+  }
+  std::vector<int> Widths() const {
+    std::vector<int> widths;
+    for (const auto& c : columns) widths.push_back(c.width());
+    return widths;
+  }
+  size_t rows() const { return columns.empty() ? 0 : columns[0].size(); }
+};
+
+// Reference: indices sorted by the direction-aware lexicographic order.
+std::vector<Oid> ReferenceOrder(const Instance& inst) {
+  std::vector<Oid> order(inst.rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Oid a, Oid b) {
+    for (size_t c = 0; c < inst.columns.size(); ++c) {
+      const Code va = inst.columns[c].Get(a);
+      const Code vb = inst.columns[c].Get(b);
+      if (va != vb) {
+        return inst.orders[c] == SortOrder::kAscending ? va < vb : va > vb;
+      }
+    }
+    return false;
+  });
+  return order;
+}
+
+// The tuple (all column values) at input row `oid`.
+std::vector<Code> TupleAt(const Instance& inst, Oid oid) {
+  std::vector<Code> tuple;
+  for (const auto& c : inst.columns) tuple.push_back(c.Get(oid));
+  return tuple;
+}
+
+void CheckResult(const Instance& inst, const MultiColumnSortResult& result) {
+  const std::vector<Oid> expected = ReferenceOrder(inst);
+  ASSERT_EQ(result.oids.size(), expected.size());
+  // oids must be a permutation.
+  std::vector<bool> seen(inst.rows(), false);
+  for (Oid oid : result.oids) {
+    ASSERT_LT(oid, inst.rows());
+    ASSERT_FALSE(seen[oid]);
+    seen[oid] = true;
+  }
+  // Tuple sequence must match the reference (oids may differ within ties).
+  for (size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(TupleAt(inst, result.oids[r]), TupleAt(inst, expected[r]))
+        << "row " << r;
+  }
+  // Groups: maximal runs of fully tied tuples.
+  ASSERT_FALSE(result.groups.bounds.empty());
+  ASSERT_EQ(result.groups.bounds.front(), 0u);
+  ASSERT_EQ(result.groups.bounds.back(), inst.rows());
+  for (size_t g = 0; g < result.groups.count(); ++g) {
+    const uint32_t begin = result.groups.begin(g);
+    const uint32_t end = result.groups.end(g);
+    for (uint32_t r = begin + 1; r < end; ++r) {
+      ASSERT_EQ(TupleAt(inst, result.oids[r]), TupleAt(inst, result.oids[begin]))
+          << "group " << g << " not tied";
+    }
+    if (end < inst.rows()) {
+      ASSERT_NE(TupleAt(inst, result.oids[end]),
+                TupleAt(inst, result.oids[begin]))
+          << "group " << g << " not maximal";
+    }
+  }
+}
+
+Instance MakeInstance(const std::vector<int>& widths,
+                      const std::vector<SortOrder>& orders, size_t n,
+                      uint64_t seed, uint64_t distinct_cap = 0,
+                      double zipf_theta = 0.0) {
+  Instance inst;
+  inst.orders = orders;
+  Rng rng(seed);
+  for (int w : widths) {
+    EncodedColumn col(w, n);
+    const uint64_t domain = LowBitsMask(w) + 1;
+    const uint64_t distinct =
+        distinct_cap == 0 ? domain : std::min<uint64_t>(distinct_cap, domain);
+    ZipfGenerator zipf(std::max<uint64_t>(distinct, 1), zipf_theta);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t v = zipf_theta > 0 ? zipf.Next(rng) : rng.NextBounded(distinct);
+      // Spread the distinct values over the full domain.
+      if (distinct < domain) v = v * (domain / distinct);
+      col.Set(r, v & LowBitsMask(w));
+    }
+    inst.columns.push_back(std::move(col));
+  }
+  return inst;
+}
+
+TEST(MultiColumnSorterTest, ColumnAtATimeMatchesReference) {
+  Instance inst = MakeInstance({10, 17}, {SortOrder::kAscending,
+                                          SortOrder::kAscending},
+                               5000, 42, 128);
+  MultiColumnSorter sorter;
+  CheckResult(inst, sorter.SortColumnAtATime(inst.Inputs()));
+}
+
+TEST(MultiColumnSorterTest, StitchAllMatchesReference) {
+  Instance inst = MakeInstance({10, 17}, {SortOrder::kAscending,
+                                          SortOrder::kAscending},
+                               5000, 43, 128);
+  MultiColumnSorter sorter;
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({27})));
+}
+
+TEST(MultiColumnSorterTest, MixedDirectionsAllPlans) {
+  Instance inst = MakeInstance(
+      {8, 12}, {SortOrder::kAscending, SortOrder::kDescending}, 3000, 44, 32);
+  MultiColumnSorter sorter;
+  CheckResult(inst, sorter.SortColumnAtATime(inst.Inputs()));
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({20})));
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({13, 7})));
+}
+
+TEST(MultiColumnSorterTest, ThreeColumnsManyPartitions) {
+  Instance inst = MakeInstance(
+      {6, 9, 11},
+      {SortOrder::kAscending, SortOrder::kDescending, SortOrder::kAscending},
+      4000, 45, 16);
+  MultiColumnSorter sorter;
+  // W = 26; several representative partitions.
+  for (const auto& widths :
+       std::vector<std::vector<int>>{{6, 9, 11}, {26}, {15, 11}, {6, 20},
+                                     {13, 13}, {2, 2, 2, 20}, {25, 1}}) {
+    CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                  MassagePlan::WithMinimalBanks(widths)));
+  }
+}
+
+TEST(MultiColumnSorterTest, WideColumnsUse64BitBanks) {
+  Instance inst = MakeInstance({48, 48}, {SortOrder::kAscending,
+                                          SortOrder::kDescending},
+                               2000, 46, 500);
+  MultiColumnSorter sorter;
+  // Paper Ex4: both P0 = {48/[64], 48/[64]} and {32/[32] x3}.
+  CheckResult(inst, sorter.SortColumnAtATime(inst.Inputs()));
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({32, 32, 32})));
+}
+
+TEST(MultiColumnSorterTest, ZipfSkewedData) {
+  Instance inst = MakeInstance({12, 20}, {SortOrder::kAscending,
+                                          SortOrder::kAscending},
+                               8000, 47, 256, /*zipf_theta=*/1.0);
+  MultiColumnSorter sorter;
+  CheckResult(inst, sorter.SortColumnAtATime(inst.Inputs()));
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({32})));
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks({16, 16})));
+}
+
+TEST(MultiColumnSorterTest, SingleRowAndTinyInputs) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}}) {
+    Instance inst = MakeInstance({7, 7}, {SortOrder::kAscending,
+                                          SortOrder::kDescending},
+                                 n, 48 + n);
+    MultiColumnSorter sorter;
+    CheckResult(inst, sorter.SortColumnAtATime(inst.Inputs()));
+    CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                  MassagePlan::WithMinimalBanks({14})));
+  }
+}
+
+TEST(MultiColumnSorterTest, AllRowsEqual) {
+  Instance inst;
+  inst.orders = {SortOrder::kAscending, SortOrder::kAscending};
+  EncodedColumn a(10, 1000), b(20, 1000);
+  for (size_t r = 0; r < 1000; ++r) {
+    a.Set(r, 77);
+    b.Set(r, 4242);
+  }
+  inst.columns.push_back(std::move(a));
+  inst.columns.push_back(std::move(b));
+  MultiColumnSorter sorter;
+  auto result = sorter.SortColumnAtATime(inst.Inputs());
+  CheckResult(inst, result);
+  EXPECT_EQ(result.groups.count(), 1u);
+}
+
+TEST(MultiColumnSorterTest, MultithreadedMatchesSingleThreaded) {
+  Instance inst = MakeInstance({9, 15, 10},
+                               {SortOrder::kAscending, SortOrder::kAscending,
+                                SortOrder::kDescending},
+                               20000, 50, 64);
+  MultiColumnSorter single;
+  ThreadPool pool(4);
+  MultiColumnSorter multi(&pool);
+  auto plan = MassagePlan::WithMinimalBanks({17, 17});
+  auto r1 = single.Sort(inst.Inputs(), plan);
+  auto r2 = multi.Sort(inst.Inputs(), plan);
+  CheckResult(inst, r1);
+  CheckResult(inst, r2);
+  EXPECT_EQ(r1.groups.bounds, r2.groups.bounds);
+}
+
+// Property sweep: random instances, random plans — the paper's Lemma 1 as
+// an executable property.
+class RandomPlanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlanSweep, AnyValidPlanSortsCorrectly) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const int m = 1 + static_cast<int>(rng.NextBounded(3));
+  std::vector<int> widths;
+  std::vector<SortOrder> orders;
+  int total = 0;
+  for (int c = 0; c < m; ++c) {
+    int w = 1 + static_cast<int>(rng.NextBounded(24));
+    widths.push_back(w);
+    orders.push_back(rng.NextBounded(2) == 0 ? SortOrder::kAscending
+                                             : SortOrder::kDescending);
+    total += w;
+  }
+  const size_t n = 100 + rng.NextBounded(3000);
+  Instance inst = MakeInstance(widths, orders, n, rng.Next(),
+                               1 + rng.NextBounded(64));
+
+  // Random valid partition of `total` bits.
+  std::vector<int> parts;
+  int remaining = total;
+  while (remaining > 0) {
+    const uint64_t max_part = remaining < 64 ? remaining : 64;
+    const int part = 1 + static_cast<int>(rng.NextBounded(max_part));
+    parts.push_back(part);
+    remaining -= part;
+  }
+  MultiColumnSorter sorter;
+  CheckResult(inst, sorter.Sort(inst.Inputs(),
+                                MassagePlan::WithMinimalBanks(parts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPlanSweep, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mcsort

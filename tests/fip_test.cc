@@ -1,0 +1,146 @@
+// Tests for the FIP segment decomposition, including the paper's own
+// I_FIP examples (Sec. 4 / Fig. 6).
+#include "mcsort/massage/fip.h"
+
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/random.h"
+
+namespace mcsort {
+namespace {
+
+TEST(FipTest, PaperExampleEx3LeftShiftOne) {
+  // Ex3: columns 17 + 33 massaged into {R1: 18/[32], R2: 32/[32]}.
+  // I_FIP = |{17, 50} U {18, 50}| = |{17, 18, 50}| = 3.
+  EXPECT_EQ(CountFipInvocations({17, 33}, {18, 32}), 3);
+}
+
+TEST(FipTest, PaperExampleEx4ThreeRounds) {
+  // Ex4: two 48-bit columns massaged into three 32-bit rounds.
+  // I_FIP = |{48, 96} U {32, 64, 96}| = |{32, 48, 64, 96}| = 4.
+  EXPECT_EQ(CountFipInvocations({48, 48}, {32, 32, 32}), 4);
+}
+
+TEST(FipTest, IdentityPlanHasOneSegmentPerColumn) {
+  EXPECT_EQ(CountFipInvocations({10, 17}, {10, 17}), 2);
+  EXPECT_EQ(CountFipInvocations({5}, {5}), 1);
+}
+
+TEST(FipTest, StitchAllIsOneSegmentPerInput) {
+  // Stitching m columns into one round needs m segments.
+  EXPECT_EQ(CountFipInvocations({10, 17}, {27}), 2);
+  EXPECT_EQ(CountFipInvocations({3, 4, 5}, {12}), 3);
+}
+
+TEST(FipTest, SegmentGeometryEx3) {
+  // {17, 33} -> {18, 32}: segments (MSB first) are
+  //   input col 0 bits [16..0]  -> output col 0 bits [17..1]
+  //   input col 1 bit  [32]     -> output col 0 bit  [0]
+  //   input col 1 bits [31..0]  -> output col 1 bits [31..0]
+  auto segs = ComputeFipSegments({17, 33}, {18, 32});
+  ASSERT_EQ(segs.size(), 3u);
+
+  EXPECT_EQ(segs[0].input_col, 0);
+  EXPECT_EQ(segs[0].input_lo, 0);
+  EXPECT_EQ(segs[0].length, 17);
+  EXPECT_EQ(segs[0].output_col, 0);
+  EXPECT_EQ(segs[0].output_lo, 1);
+
+  EXPECT_EQ(segs[1].input_col, 1);
+  EXPECT_EQ(segs[1].input_lo, 32);
+  EXPECT_EQ(segs[1].length, 1);
+  EXPECT_EQ(segs[1].output_col, 0);
+  EXPECT_EQ(segs[1].output_lo, 0);
+
+  EXPECT_EQ(segs[2].input_col, 1);
+  EXPECT_EQ(segs[2].input_lo, 0);
+  EXPECT_EQ(segs[2].length, 32);
+  EXPECT_EQ(segs[2].output_col, 1);
+  EXPECT_EQ(segs[2].output_lo, 0);
+}
+
+TEST(FipTest, SegmentsPartitionTheBitString) {
+  // Property: for random width vectors, segments exactly cover each input
+  // and each output column with no overlap.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(4));
+    std::vector<int> in_widths, out_widths;
+    int total = 0;
+    for (int i = 0; i < m; ++i) {
+      const int w = 1 + static_cast<int>(rng.NextBounded(30));
+      in_widths.push_back(w);
+      total += w;
+    }
+    // Random composition of `total` into parts of <= 64 bits.
+    int remaining = total;
+    while (remaining > 0) {
+      const int max_part = remaining < 64 ? remaining : 64;
+      int part = 1 + static_cast<int>(rng.NextBounded(
+                         static_cast<uint64_t>(max_part)));
+      // Never leave a remainder that cannot be covered (parts >= 1 always
+      // can, so any remainder is fine).
+      out_widths.push_back(part);
+      remaining -= part;
+    }
+
+    auto segs = ComputeFipSegments(in_widths, out_widths);
+    // Sum of segment lengths covers everything exactly once.
+    int covered = 0;
+    std::vector<int> in_bits(in_widths.size(), 0);
+    std::vector<int> out_bits(out_widths.size(), 0);
+    for (const auto& s : segs) {
+      covered += s.length;
+      in_bits[static_cast<size_t>(s.input_col)] += s.length;
+      out_bits[static_cast<size_t>(s.output_col)] += s.length;
+      EXPECT_GE(s.input_lo, 0);
+      EXPECT_LE(s.input_lo + s.length,
+                in_widths[static_cast<size_t>(s.input_col)]);
+      EXPECT_GE(s.output_lo, 0);
+      EXPECT_LE(s.output_lo + s.length,
+                out_widths[static_cast<size_t>(s.output_col)]);
+    }
+    EXPECT_EQ(covered, total);
+    for (size_t i = 0; i < in_widths.size(); ++i) {
+      EXPECT_EQ(in_bits[i], in_widths[i]);
+    }
+    for (size_t i = 0; i < out_widths.size(); ++i) {
+      EXPECT_EQ(out_bits[i], out_widths[i]);
+    }
+  }
+}
+
+TEST(FipTest, InvocationCountMatchesPrefixSumUnion) {
+  // I_FIP == |union of the two prefix-sum sets| for random instances.
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> in_widths = {
+        1 + static_cast<int>(rng.NextBounded(20)),
+        1 + static_cast<int>(rng.NextBounded(20)),
+        1 + static_cast<int>(rng.NextBounded(20))};
+    const int total = in_widths[0] + in_widths[1] + in_widths[2];
+    const int cut = 1 + static_cast<int>(
+                            rng.NextBounded(static_cast<uint64_t>(total - 1)));
+    std::vector<int> out_widths;
+    if (cut <= 64 && total - cut <= 64) {
+      out_widths = {cut, total - cut};
+    } else {
+      continue;
+    }
+    std::vector<int> prefix_union;
+    int acc = 0;
+    for (int w : in_widths) prefix_union.push_back(acc += w);
+    acc = 0;
+    for (int w : out_widths) prefix_union.push_back(acc += w);
+    std::sort(prefix_union.begin(), prefix_union.end());
+    prefix_union.erase(std::unique(prefix_union.begin(), prefix_union.end()),
+                       prefix_union.end());
+    EXPECT_EQ(CountFipInvocations(in_widths, out_widths),
+              static_cast<int>(prefix_union.size()));
+  }
+}
+
+}  // namespace
+}  // namespace mcsort

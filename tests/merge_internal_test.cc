@@ -1,0 +1,161 @@
+// White-box tests of the merge machinery: merge-path partitioning, the
+// resumable run-pair stream, the four-way out-of-cache merge, and the
+// parallel whole-array sort.
+#include "mcsort/sort/merge_internal.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/random.h"
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/sort/simd_sort.h"
+
+#if MCSORT_HAVE_AVX2
+
+namespace mcsort {
+namespace {
+
+using sort_internal::FourWayMerge;
+using sort_internal::FourWayScratch;
+using sort_internal::MergePathSplit;
+using sort_internal::Ops32;
+using sort_internal::RunPairStream;
+
+TEST(MergePathSplitTest, KSmallestPropertyOnRandomInputs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t na = rng.NextBounded(50);
+    const size_t nb = rng.NextBounded(50);
+    std::vector<uint32_t> a(na), b(nb);
+    // Small domain: plenty of ties.
+    for (auto& v : a) v = static_cast<uint32_t>(rng.NextBounded(10));
+    for (auto& v : b) v = static_cast<uint32_t>(rng.NextBounded(10));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const size_t k = rng.NextBounded(na + nb + 1);
+    const size_t x = MergePathSplit(a.data(), na, b.data(), nb, k);
+    const size_t y = k - x;
+    ASSERT_LE(x, na);
+    ASSERT_LE(y, nb);
+    // Taken elements must all be <= untaken elements (multiset k-smallest).
+    const uint32_t max_taken =
+        std::max(x > 0 ? a[x - 1] : 0, y > 0 ? b[y - 1] : 0);
+    if (x < na && k > 0) {
+      ASSERT_LE(max_taken, a[x]);
+    }
+    if (y < nb && k > 0) {
+      ASSERT_LE(max_taken, b[y]);
+    }
+  }
+}
+
+TEST(RunPairStreamTest, StreamsFullMergeInChunks) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t na = rng.NextBounded(2000);
+    const size_t nb = rng.NextBounded(2000);
+    std::vector<uint32_t> ka(na), kb(nb), pa(na), pb(nb);
+    for (size_t i = 0; i < na; ++i) {
+      ka[i] = static_cast<uint32_t>(rng.NextBounded(500));
+      pa[i] = static_cast<uint32_t>(i);
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      kb[i] = static_cast<uint32_t>(rng.NextBounded(500));
+      pb[i] = static_cast<uint32_t>(na + i);
+    }
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+
+    RunPairStream<Ops32> stream;
+    stream.Init(ka.data(), pa.data(), na, kb.data(), pb.data(), nb);
+    std::vector<uint32_t> out_k, out_p;
+    uint32_t chunk_k[333], chunk_p[333];
+    for (;;) {
+      const size_t cap = 1 + rng.NextBounded(333);
+      const size_t got = stream.Pull(chunk_k, chunk_p, cap);
+      if (got == 0) break;
+      out_k.insert(out_k.end(), chunk_k, chunk_k + got);
+      out_p.insert(out_p.end(), chunk_p, chunk_p + got);
+    }
+    ASSERT_EQ(out_k.size(), na + nb);
+    ASSERT_TRUE(std::is_sorted(out_k.begin(), out_k.end()));
+    // Payload multiset preserved.
+    std::vector<uint32_t> pays = out_p;
+    std::sort(pays.begin(), pays.end());
+    for (size_t i = 0; i < pays.size(); ++i) ASSERT_EQ(pays[i], i);
+  }
+}
+
+TEST(FourWayMergeTest, MergesFourRunsOfVaryingLengths) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Four runs, some possibly empty, laid out contiguously.
+    std::vector<size_t> lens(4);
+    for (auto& len : lens) len = rng.NextBounded(40000);
+    const size_t total = lens[0] + lens[1] + lens[2] + lens[3];
+    std::vector<uint32_t> keys(total), pays(total);
+    size_t off = 0;
+    std::vector<size_t> bounds = {0};
+    for (size_t r = 0; r < 4; ++r) {
+      for (size_t i = 0; i < lens[r]; ++i) {
+        keys[off + i] = static_cast<uint32_t>(rng.Next());
+        pays[off + i] = static_cast<uint32_t>(off + i);
+      }
+      std::sort(keys.begin() + static_cast<long>(off),
+                keys.begin() + static_cast<long>(off + lens[r]));
+      off += lens[r];
+      bounds.push_back(off);
+    }
+    std::vector<uint32_t> out_k(total), out_p(total);
+    FourWayScratch<Ops32> scratch;
+    FourWayMerge<Ops32>(keys.data(), pays.data(), out_k.data(), out_p.data(),
+                        bounds[0], bounds[1], bounds[2], bounds[3], bounds[4],
+                        &scratch);
+    ASSERT_TRUE(std::is_sorted(out_k.begin(), out_k.end()));
+    std::vector<bool> seen(total, false);
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_FALSE(seen[out_p[i]]);
+      seen[out_p[i]] = true;
+    }
+  }
+}
+
+TEST(ParallelSortTest, MatchesSequentialSort) {
+  Rng rng(4);
+  ThreadPool pool(4);
+  std::vector<SortScratch> scratches(4);
+  for (size_t n : {size_t{100}, size_t{5000}, size_t{100000},
+                   size_t{1000000}}) {
+    std::vector<uint32_t> original(n);
+    for (auto& k : original) k = static_cast<uint32_t>(rng.Next());
+    auto par_keys = original;
+    std::vector<uint32_t> par_oids(n);
+    std::iota(par_oids.begin(), par_oids.end(), 0);
+    ParallelSortPairs32(par_keys.data(), par_oids.data(), n, pool, scratches);
+
+    auto seq_keys = original;
+    std::vector<uint32_t> seq_oids(n);
+    std::iota(seq_oids.begin(), seq_oids.end(), 0);
+    SortScratch scratch;
+    SortPairs32(seq_keys.data(), seq_oids.data(), n, scratch);
+
+    ASSERT_EQ(par_keys, seq_keys) << n;
+    // Permutation check.
+    std::vector<bool> seen(n, false);
+    for (uint32_t oid : par_oids) {
+      ASSERT_LT(oid, n);
+      ASSERT_FALSE(seen[oid]);
+      seen[oid] = true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(original[par_oids[i]], par_keys[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsort
+
+#endif  // MCSORT_HAVE_AVX2

@@ -1,0 +1,100 @@
+// Tests for the Appendix C rho-selection procedures.
+#include "mcsort/plan/rho_tuner.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+namespace {
+
+ColumnStats MakeStats(int width, uint64_t n, uint64_t distinct,
+                      uint64_t seed) {
+  Rng rng(seed);
+  EncodedColumn col(width, n);
+  const uint64_t domain = LowBitsMask(width) + 1;
+  const uint64_t d = std::min(distinct, domain);
+  for (uint64_t i = 0; i < n; ++i) {
+    Code v = rng.NextBounded(d);
+    if (d < domain) v *= domain / d;
+    col.Set(i, v);
+  }
+  return ColumnStats::Build(col);
+}
+
+class RhoTunerTest : public ::testing::Test {
+ protected:
+  RhoTunerTest() : model_(CostParams::Default()) {
+    storage_.push_back(MakeStats(10, 1 << 13, 900, 1));
+    storage_.push_back(MakeStats(17, 1 << 13, 8000, 2));
+    storage_.push_back(MakeStats(25, 1 << 13, 8000, 3));
+    storage_.push_back(MakeStats(30, 1 << 13, 8000, 4));
+    SortInstanceStats small;
+    small.n = 1 << 22;
+    small.columns = {&storage_[0], &storage_[1]};
+    samples_.push_back(small);
+    SortInstanceStats wide;
+    wide.n = 1 << 22;
+    wide.columns = {&storage_[1], &storage_[2], &storage_[3]};
+    samples_.push_back(wide);
+  }
+
+  CostModel model_;
+  std::vector<ColumnStats> storage_;
+  std::vector<SortInstanceStats> samples_;
+};
+
+TEST_F(RhoTunerTest, OfflineReturnsALadderValue) {
+  const OfflineRhoResult result = CalibrateRhoOffline(model_, samples_);
+  const RhoLadder ladder;
+  bool on_ladder = false;
+  for (double rho : ladder.rhos) {
+    if (rho == result.rho) on_ladder = true;
+  }
+  EXPECT_TRUE(on_ladder);
+  ASSERT_EQ(result.converged_at.size(), samples_.size());
+  // The returned rho must be at least the level every query converged at.
+  for (size_t level : result.converged_at) {
+    EXPECT_LE(ladder.rhos[level], result.rho);
+  }
+}
+
+TEST_F(RhoTunerTest, OfflineRhoReachesBestPlanForEverySample) {
+  const OfflineRhoResult tuned = CalibrateRhoOffline(model_, samples_);
+  // Searching each sample at the tuned rho must match the plan quality of
+  // an unbounded search.
+  for (const SortInstanceStats& stats : samples_) {
+    SearchOptions at_tuned;
+    at_tuned.rho = tuned.rho;
+    SearchOptions unbounded;
+    unbounded.rho = 0;
+    const double tuned_cost =
+        RogaSearch(model_, stats, at_tuned).estimated_cycles;
+    const double best_cost =
+        RogaSearch(model_, stats, unbounded).estimated_cycles;
+    EXPECT_LE(tuned_cost, best_cost * 1.0001);
+  }
+}
+
+TEST_F(RhoTunerTest, OnlineSearchImprovesOrMatchesLowWatermark) {
+  for (const SortInstanceStats& stats : samples_) {
+    SearchOptions low;
+    low.rho = 0.0001;
+    low.min_budget_seconds = 0;
+    const double low_cost = RogaSearch(model_, stats, low).estimated_cycles;
+
+    OnlineRhoOptions options;
+    options.base.min_budget_seconds = 0;
+    const OnlineRhoResult online = SearchWithOnlineRho(model_, stats, options);
+    EXPECT_LE(online.search.estimated_cycles, low_cost * 1.0001);
+    EXPECT_GE(online.final_rho, options.rho_low);
+    EXPECT_LE(online.final_rho, options.rho_high);
+    EXPECT_TRUE(online.search.plan.IsValid());
+  }
+}
+
+}  // namespace
+}  // namespace mcsort

@@ -1,0 +1,115 @@
+// Tests for lookup (gather) operators and group-boundary scans.
+#include "mcsort/scan/lookup.h"
+
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/scan/group_scan.h"
+
+namespace mcsort {
+namespace {
+
+TEST(LookupTest, GatherAllWidths) {
+  Rng rng(3);
+  for (int width : {7, 16, 17, 32, 33, 64}) {
+    const size_t n = 1000;
+    EncodedColumn src(width, n);
+    for (size_t i = 0; i < n; ++i) src.Set(i, rng.Next() & LowBitsMask(width));
+    std::vector<Oid> oids(n);
+    for (auto& o : oids) o = static_cast<Oid>(rng.NextBounded(n));
+    EncodedColumn out;
+    GatherColumn(src, oids.data(), n, &out);
+    ASSERT_EQ(out.size(), n);
+    EXPECT_EQ(out.width(), width);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out.Get(i), src.Get(oids[i])) << "width " << width;
+    }
+  }
+}
+
+TEST(LookupTest, GatherSubsetAndEmpty) {
+  EncodedColumn src(10, 50);
+  for (size_t i = 0; i < 50; ++i) src.Set(i, i);
+  std::vector<Oid> oids = {49, 0, 7};
+  EncodedColumn out;
+  GatherColumn(src, oids.data(), oids.size(), &out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.Get(0), 49u);
+  EXPECT_EQ(out.Get(1), 0u);
+  EXPECT_EQ(out.Get(2), 7u);
+  GatherColumn(src, oids.data(), 0, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(LookupTest, GatherPreservesBankTypedColumns) {
+  // A 10-bit round column typed for a 32-bit bank must keep its u32
+  // physical type through a lookup.
+  EncodedColumn src;
+  src.ResetTyped(10, PhysicalType::kU32, 20);
+  for (size_t i = 0; i < 20; ++i) src.Set(i, i);
+  std::vector<Oid> oids(20);
+  std::iota(oids.begin(), oids.end(), 0);
+  EncodedColumn out;
+  GatherColumn(src, oids.data(), 20, &out);
+  EXPECT_EQ(out.type(), PhysicalType::kU32);
+  EXPECT_EQ(out.width(), 10);
+}
+
+TEST(LookupTest, ByteSliceStitchGather) {
+  Rng rng(4);
+  EncodedColumn src(19, 300);
+  for (size_t i = 0; i < 300; ++i) src.Set(i, rng.Next() & LowBitsMask(19));
+  const ByteSliceColumn bs = ByteSliceColumn::Build(src);
+  std::vector<Oid> oids = {299, 1, 128, 42};
+  EncodedColumn out;
+  GatherFromByteSlice(bs, oids.data(), oids.size(), &out);
+  for (size_t i = 0; i < oids.size(); ++i) {
+    EXPECT_EQ(out.Get(i), src.Get(oids[i]));
+  }
+}
+
+TEST(GroupScanTest, SplitsAtKeyChanges) {
+  EncodedColumn keys(8, 10);
+  const Code values[] = {1, 1, 2, 2, 2, 3, 5, 5, 9, 9};
+  for (size_t i = 0; i < 10; ++i) keys.Set(i, values[i]);
+  Segments out;
+  FindGroups(keys, Segments::Whole(10), &out);
+  EXPECT_EQ(out.bounds, (std::vector<uint32_t>{0, 2, 5, 6, 8, 10}));
+  EXPECT_EQ(out.count(), 5u);
+  EXPECT_EQ(CountNonSingleton(out), 4u);
+}
+
+TEST(GroupScanTest, RespectsParentBoundaries) {
+  // Equal keys across a parent boundary must NOT merge (they belong to
+  // different groups of the previous round).
+  EncodedColumn keys(8, 6);
+  const Code values[] = {7, 7, 7, 7, 7, 7};
+  for (size_t i = 0; i < 6; ++i) keys.Set(i, values[i]);
+  Segments parents;
+  parents.bounds = {0, 3, 6};
+  Segments out;
+  FindGroups(keys, parents, &out);
+  EXPECT_EQ(out.bounds, (std::vector<uint32_t>{0, 3, 6}));
+}
+
+TEST(GroupScanTest, AllDistinctAllSingletons) {
+  EncodedColumn keys(8, 5);
+  for (size_t i = 0; i < 5; ++i) keys.Set(i, i * 3);
+  Segments out;
+  FindGroups(keys, Segments::Whole(5), &out);
+  EXPECT_EQ(out.count(), 5u);
+  EXPECT_EQ(CountNonSingleton(out), 0u);
+}
+
+TEST(GroupScanTest, EmptyInput) {
+  EncodedColumn keys(8, 0);
+  Segments out;
+  FindGroups(keys, Segments::Whole(0), &out);
+  EXPECT_EQ(out.count(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsort

@@ -1,0 +1,194 @@
+// Tests for columns, dictionary encodings, statistics, and tables.
+#include "mcsort/storage/table.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/storage/statistics.h"
+
+namespace mcsort {
+namespace {
+
+TEST(EncodedColumnTest, WidthDrivesPhysicalType) {
+  EXPECT_EQ(EncodedColumn(1, 4).type(), PhysicalType::kU16);
+  EXPECT_EQ(EncodedColumn(16, 4).type(), PhysicalType::kU16);
+  EXPECT_EQ(EncodedColumn(17, 4).type(), PhysicalType::kU32);
+  EXPECT_EQ(EncodedColumn(32, 4).type(), PhysicalType::kU32);
+  EXPECT_EQ(EncodedColumn(33, 4).type(), PhysicalType::kU64);
+  EXPECT_EQ(EncodedColumn(64, 4).type(), PhysicalType::kU64);
+}
+
+TEST(EncodedColumnTest, RoundTripsValues) {
+  for (int width : {1, 5, 16, 17, 31, 33, 64}) {
+    EncodedColumn col(width, 100);
+    Rng rng(static_cast<uint64_t>(width));
+    std::vector<Code> expected(100);
+    for (size_t i = 0; i < 100; ++i) {
+      expected[i] = rng.Next() & LowBitsMask(width);
+      col.Set(i, expected[i]);
+    }
+    for (size_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(col.Get(i), expected[i]);
+    }
+  }
+}
+
+TEST(EncodedColumnTest, SizeOfWidthMatchesPaper) {
+  // Sec. 4: size(15) = 2 (int16), size(17) = 4 (int32).
+  EXPECT_EQ(SizeOfWidth(15), 2);
+  EXPECT_EQ(SizeOfWidth(17), 4);
+  EXPECT_EQ(SizeOfWidth(33), 8);
+  EncodedColumn col(17, 10);
+  EXPECT_EQ(col.byte_size(), 40u);
+}
+
+TEST(StringDictionaryTest, OrderPreserving) {
+  std::vector<std::string> values = {"delta", "alpha", "charlie", "bravo",
+                                     "alpha"};
+  auto encoded = EncodeStrings(values);
+  EXPECT_EQ(encoded.dictionary.size(), 4u);
+  // Codes must order like the strings.
+  EXPECT_LT(encoded.dictionary.Encode("alpha"),
+            encoded.dictionary.Encode("bravo"));
+  EXPECT_LT(encoded.dictionary.Encode("bravo"),
+            encoded.dictionary.Encode("charlie"));
+  // Round trip through the column.
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.dictionary.Decode(encoded.codes.Get(i)), values[i]);
+  }
+  // Width: 4 distinct -> 2 bits.
+  EXPECT_EQ(encoded.codes.width(), 2);
+}
+
+TEST(DenseEncodingTest, RanksAreOrderPreservingAndMinimalWidth) {
+  std::vector<int64_t> values = {100, -7, 100, 3000, 5};
+  auto encoded = EncodeDense(values);
+  EXPECT_EQ(encoded.dictionary.size(), 4u);  // -7, 5, 100, 3000
+  EXPECT_EQ(encoded.codes.width(), 2);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.dictionary[encoded.codes.Get(i)], values[i]);
+  }
+  EXPECT_LT(encoded.codes.Get(1), encoded.codes.Get(4));  // -7 < 5
+}
+
+TEST(DomainEncodingTest, BasePlusCode) {
+  std::vector<int64_t> values = {50, 42, 49};
+  auto encoded = EncodeDomain(values);
+  EXPECT_EQ(encoded.base, 42);
+  EXPECT_EQ(encoded.codes.width(), BitsForValue(8));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.base + static_cast<int64_t>(encoded.codes.Get(i)),
+              values[i]);
+  }
+}
+
+TEST(DecimalEncodingTest, ScalesToIntegers) {
+  std::vector<double> values = {1.25, 0.10, 99.99};
+  auto encoded = EncodeDecimal(values, 2);
+  EXPECT_EQ(encoded.dictionary.size(), 3u);
+  EXPECT_EQ(encoded.dictionary[encoded.codes.Get(0)], 125);
+  EXPECT_EQ(encoded.dictionary[encoded.codes.Get(2)], 9999);
+}
+
+TEST(ColumnStatsTest, CountsRowsAndDistincts) {
+  EncodedColumn col(8, 1000);
+  for (size_t i = 0; i < 1000; ++i) col.Set(i, i % 37);
+  const ColumnStats stats = ColumnStats::Build(col);
+  EXPECT_EQ(stats.row_count(), 1000u);
+  EXPECT_EQ(stats.distinct_count(), 37u);
+  EXPECT_EQ(stats.min_code(), 0u);
+  EXPECT_EQ(stats.max_code(), 36u);
+}
+
+TEST(ColumnStatsTest, PrefixDistinctExactWithinHistogram) {
+  // 12-bit column, values = multiples of 16 -> top-8-bit prefixes all
+  // distinct, top-4-bit prefixes = 16.
+  EncodedColumn col(12, 1 << 12);
+  for (size_t i = 0; i < col.size(); ++i) col.Set(i, (i * 16) & 0xFFF);
+  const ColumnStats stats = ColumnStats::Build(col, /*hist_bits=*/12);
+  EXPECT_EQ(stats.distinct_count(), 256u);
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinctPrefixes(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinctPrefixes(4), 16.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinctPrefixes(8), 256.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinctPrefixes(12), 256.0);
+}
+
+TEST(ColumnStatsTest, PrefixDistinctExtrapolatesBeyondHistogram) {
+  // 20-bit column with 2^10 uniform distinct values; histogram capped at 8
+  // bits. The extrapolated prefix counts must be monotone and bounded.
+  Rng rng(5);
+  EncodedColumn col(20, 1 << 14);
+  for (size_t i = 0; i < col.size(); ++i) {
+    col.Set(i, (rng.NextBounded(1 << 10)) << 10);
+  }
+  const ColumnStats stats = ColumnStats::Build(col, /*hist_bits=*/8);
+  double prev = 0;
+  for (int a = 0; a <= 20; ++a) {
+    const double d = stats.EstimateDistinctPrefixes(a);
+    EXPECT_GE(d, prev - 1e-9) << "a=" << a;
+    EXPECT_LE(d, static_cast<double>(stats.distinct_count()) + 1e-6);
+    prev = d;
+  }
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinctPrefixes(20),
+                   static_cast<double>(stats.distinct_count()));
+}
+
+TEST(ColumnStatsTest, SampledBuildApproximatesFullBuild) {
+  Rng rng(17);
+  EncodedColumn col(16, 200000);
+  for (size_t i = 0; i < col.size(); ++i) col.Set(i, rng.NextBounded(5000));
+  const ColumnStats full = ColumnStats::Build(col);
+  const ColumnStats sampled = ColumnStats::BuildSampled(col, 20000);
+  // Row count reflects the full table either way.
+  EXPECT_EQ(sampled.row_count(), full.row_count());
+  // Sampled distinct is a lower bound but must be in the right ballpark
+  // for a column whose distinct count is far below the sample size.
+  EXPECT_LE(sampled.distinct_count(), full.distinct_count());
+  EXPECT_GT(sampled.distinct_count(), full.distinct_count() / 2);
+  // Prefix-distinct estimates must stay close for coarse prefixes.
+  for (int a : {2, 4, 6, 8}) {
+    EXPECT_NEAR(sampled.EstimateDistinctPrefixes(a),
+                full.EstimateDistinctPrefixes(a),
+                full.EstimateDistinctPrefixes(a) * 0.2 + 1.0)
+        << "a=" << a;
+  }
+}
+
+TEST(TableTest, AddAndAccessColumns) {
+  Table table;
+  EncodedColumn a(8, 100);
+  for (size_t i = 0; i < 100; ++i) a.Set(i, i % 9);
+  table.AddColumn("a", std::move(a));
+  EXPECT_EQ(table.row_count(), 100u);
+  EXPECT_TRUE(table.HasColumn("a"));
+  EXPECT_FALSE(table.HasColumn("b"));
+  EXPECT_EQ(table.column("a").width(), 8);
+  EXPECT_EQ(table.stats("a").distinct_count(), 9u);
+  EXPECT_EQ(table.byteslice("a").num_slices(), 1);
+}
+
+TEST(TableTest, DomainBaseIsKeptForAggregation) {
+  Table table;
+  std::vector<int64_t> prices = {1000, 1005, 1002};
+  table.AddDomainColumn("price", EncodeDomain(prices));
+  EXPECT_EQ(table.domain_base("price"), 1000);
+  EncodedColumn other(4, 3);
+  table.AddColumn("other", std::move(other));
+  EXPECT_EQ(table.domain_base("other"), 0);
+}
+
+TEST(ExpectedOccupiedCellsTest, BallsIntoBins) {
+  // 1 ball -> 1 cell; many balls into 1 cell -> 1; N balls into N cells
+  // -> N (1 - 1/e) approximately.
+  EXPECT_DOUBLE_EQ(ExpectedOccupiedCells(100, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedOccupiedCells(1, 50), 1.0);
+  EXPECT_NEAR(ExpectedOccupiedCells(1000, 1000), 1000 * (1 - std::exp(-1.0)),
+              1.0);
+}
+
+}  // namespace
+}  // namespace mcsort

@@ -1,0 +1,156 @@
+// Tests for the workload generators: schema completeness, eligible-query
+// counts, scale behavior, skew, and that every query of every workload
+// executes end-to-end with identical results massage-on vs massage-off.
+#include "mcsort/workloads/workload.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "mcsort/storage/statistics.h"
+
+namespace mcsort {
+namespace {
+
+WorkloadOptions TinyOptions(bool skew = false) {
+  WorkloadOptions options;
+  options.scale = 0.002;  // keep unit tests fast
+  options.skew = skew;
+  options.seed = 7;
+  return options;
+}
+
+TEST(TpchWorkloadTest, HasTheNineEligibleQueries) {
+  const Workload w = MakeTpch(TinyOptions());
+  EXPECT_EQ(w.name, "TPC-H");
+  std::set<std::string> ids;
+  for (const auto& q : w.queries) ids.insert(q.id);
+  EXPECT_EQ(ids, (std::set<std::string>{"Q1", "Q2", "Q3", "Q7", "Q9", "Q10",
+                                        "Q13", "Q16", "Q18"}));
+}
+
+TEST(TpchWorkloadTest, QueriesReferenceExistingColumns) {
+  const Workload w = MakeTpch(TinyOptions());
+  for (const auto& q : w.queries) {
+    const Table& table = w.table_for(q);
+    for (const auto& f : q.spec.filters) {
+      EXPECT_TRUE(table.HasColumn(f.column)) << q.id << " " << f.column;
+    }
+    for (const auto& g : q.spec.group_by) {
+      EXPECT_TRUE(table.HasColumn(g)) << q.id << " " << g;
+    }
+    for (const auto& [name, order] : q.spec.order_by) {
+      EXPECT_TRUE(table.HasColumn(name)) << q.id << " " << name;
+    }
+    for (const auto& p : q.spec.partition_by) {
+      EXPECT_TRUE(table.HasColumn(p)) << q.id << " " << p;
+    }
+    for (const auto& a : q.spec.aggregates) {
+      if (!a.column.empty()) {
+        EXPECT_TRUE(table.HasColumn(a.column)) << q.id << " " << a.column;
+      }
+    }
+  }
+}
+
+TEST(TpchWorkloadTest, ScaleControlsRowCounts) {
+  const Workload small = MakeTpch(TinyOptions());
+  WorkloadOptions bigger_options = TinyOptions();
+  bigger_options.scale = 0.004;
+  const Workload bigger = MakeTpch(bigger_options);
+  EXPECT_GT(bigger.tables.at("lineitem_wide").row_count(),
+            small.tables.at("lineitem_wide").row_count());
+}
+
+TEST(TpchWorkloadTest, SkewProducesSkewedDistributions) {
+  const Workload uniform = MakeTpch(TinyOptions(false));
+  const Workload skewed = MakeTpch(TinyOptions(true));
+  // The most frequent l_shipdate value should dominate under Zipf.
+  const auto mode_share = [](const Table& t) {
+    const EncodedColumn& col = t.column("l_shipdate");
+    std::map<Code, size_t> freq;
+    for (size_t i = 0; i < col.size(); ++i) ++freq[col.Get(i)];
+    size_t max_count = 0;
+    for (const auto& [v, c] : freq) max_count = std::max(max_count, c);
+    return static_cast<double>(max_count) / col.size();
+  };
+  EXPECT_GT(mode_share(skewed.tables.at("lineitem_wide")),
+            5 * mode_share(uniform.tables.at("lineitem_wide")));
+}
+
+TEST(TpcdsWorkloadTest, FourPartitionByQueries) {
+  const Workload w = MakeTpcds(TinyOptions());
+  ASSERT_EQ(w.queries.size(), 4u);
+  for (const auto& q : w.queries) {
+    EXPECT_FALSE(q.spec.partition_by.empty()) << q.id;
+    EXPECT_FALSE(q.spec.window_order_column.empty()) << q.id;
+  }
+}
+
+TEST(AirlineWorkloadTest, PaperTable5Queries) {
+  const Workload w = MakeAirline(TinyOptions());
+  ASSERT_EQ(w.queries.size(), 5u);
+  EXPECT_FALSE(w.query("Q1").spec.order_by.empty());
+  EXPECT_FALSE(w.query("Q2").spec.partition_by.empty());
+  EXPECT_FALSE(w.query("Q3").spec.group_by.empty());
+  EXPECT_FALSE(w.query("Q4").spec.group_by.empty());
+  EXPECT_FALSE(w.query("Q5").spec.partition_by.empty());
+}
+
+// End-to-end: every query of every workload runs and produces identical
+// results with and without code massaging.
+class AllWorkloadsRun : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllWorkloadsRun, MassageOnOffAgree) {
+  Workload w;
+  switch (GetParam()) {
+    case 0: w = MakeTpch(TinyOptions()); break;
+    case 1: w = MakeTpch(TinyOptions(true)); break;
+    case 2: w = MakeTpcds(TinyOptions()); break;
+    default: w = MakeAirline(TinyOptions()); break;
+  }
+  for (const auto& q : w.queries) {
+    ExecutorOptions on, off;
+    on.use_massage = true;
+    off.use_massage = false;
+    QueryExecutor exec_on(w.table_for(q), on);
+    QueryExecutor exec_off(w.table_for(q), off);
+    const QueryResult r_on = exec_on.Execute(q.spec);
+    const QueryResult r_off = exec_off.Execute(q.spec);
+    EXPECT_EQ(r_on.filtered_rows, r_off.filtered_rows) << w.name << " " << q.id;
+    EXPECT_EQ(r_on.num_groups, r_off.num_groups) << w.name << " " << q.id;
+    ASSERT_EQ(r_on.aggregate_values.size(), r_off.aggregate_values.size());
+    for (size_t a = 0; a < r_on.aggregate_values.size(); ++a) {
+      // Group order is identical (both sort ascending on the same keys up
+      // to the chosen column permutation), so compare as multisets.
+      auto lhs = r_on.aggregate_values[a];
+      auto rhs = r_off.aggregate_values[a];
+      std::sort(lhs.begin(), lhs.end());
+      std::sort(rhs.begin(), rhs.end());
+      EXPECT_EQ(lhs, rhs) << w.name << " " << q.id << " agg " << a;
+    }
+    if (!q.spec.partition_by.empty()) {
+      // Rank multiset per base row must agree.
+      std::vector<uint32_t> ranks_on(r_on.result_oids.size());
+      std::vector<uint32_t> ranks_off(r_off.result_oids.size());
+      for (size_t r = 0; r < r_on.result_oids.size(); ++r) {
+        ranks_on[r] = r_on.ranks[r];
+        ranks_off[r] = r_off.ranks[r];
+      }
+      std::sort(ranks_on.begin(), ranks_on.end());
+      std::sort(ranks_off.begin(), ranks_off.end());
+      EXPECT_EQ(ranks_on, ranks_off) << w.name << " " << q.id;
+    }
+  }
+}
+
+std::string WorkloadCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"tpch", "tpch_skew", "tpcds",
+                                       "airline"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AllWorkloadsRun, ::testing::Range(0, 4),
+                         WorkloadCaseName);
+
+}  // namespace
+}  // namespace mcsort
