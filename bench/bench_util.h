@@ -6,6 +6,10 @@
 //   MCSORT_SF    workload scale factor (default 0.1; paper uses 1/5/10).
 //   MCSORT_REPS  repetitions per measurement (default 3, min-of).
 //   MCSORT_CALIBRATE  "0" skips calibration and uses default constants.
+//   MCSORT_THREADS  max worker count for the parallel-executor benches
+//                (default: the detected core count). The dev container
+//                exposes one core; set this on multi-core hosts to sweep
+//                the morsel-driven executor past the hardware default.
 #ifndef MCSORT_BENCH_BENCH_UTIL_H_
 #define MCSORT_BENCH_BENCH_UTIL_H_
 
@@ -38,6 +42,23 @@ inline uint64_t EnvU64(const char* name, uint64_t fallback) {
 
 inline uint64_t EnvRows() { return EnvU64("MCSORT_N", uint64_t{1} << 21); }
 inline int EnvReps() { return static_cast<int>(EnvU64("MCSORT_REPS", 3)); }
+
+// Worker-count ceiling for the thread-scaling benches: MCSORT_THREADS if
+// set, else the detected core count. The pool itself is real either way —
+// on a single-core container the override still exercises every parallel
+// code path, just without wall-clock speedup.
+inline int EnvThreads(int fallback) {
+  return static_cast<int>(
+      EnvU64("MCSORT_THREADS", static_cast<uint64_t>(fallback)));
+}
+
+// Thread counts to sweep: 1, then doubling up to (and including) `limit`.
+inline std::vector<int> ThreadSweep(int limit) {
+  std::vector<int> counts = {1};
+  for (int t = 2; t < limit; t *= 2) counts.push_back(t);
+  if (limit > 1) counts.push_back(limit);
+  return counts;
+}
 
 // Calibrated (or default) cost-model parameters, computed once.
 inline const CostParams& BenchParams() {

@@ -2,14 +2,21 @@
 // the Sec. 4 cost model: per-bank SIMD sort, code massaging, ByteSlice
 // scan, lookup/gather, and the group scan. These are the quantities the
 // calibration procedures measure; run them to sanity-check calibrated
-// constants (cycles/code = seconds * GHz / N).
+// constants (cycles/code = seconds * GHz / N). The BM_Parallel* variants
+// run the same operators through the morsel-driven executor with
+// MCSORT_THREADS workers (default: the core count, at least 4 so the
+// parallel paths are exercised even on small containers).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/cpu_info.h"
 #include "mcsort/common/random.h"
+#include "mcsort/common/thread_pool.h"
 #include "mcsort/massage/massage.h"
 #include "mcsort/scan/byteslice_scan.h"
 #include "mcsort/scan/group_scan.h"
@@ -20,6 +27,16 @@
 
 namespace mcsort {
 namespace {
+
+// Worker count for the BM_Parallel* benches: MCSORT_THREADS if set, else
+// max(4, cores) so the parallel code paths run even on a 1-core container.
+int BenchThreads() {
+  if (const char* env = std::getenv("MCSORT_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return std::max(4, CpuInfo::Get().num_cores);
+}
 
 template <typename K>
 std::vector<K> RandomKeys(size_t n, int width, uint64_t seed) {
@@ -75,6 +92,59 @@ void BM_SortPairs64(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_SortPairs64)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSortPairs16(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto master = RandomKeys<uint16_t>(n, 16, 11);
+  std::vector<uint16_t> keys(n);
+  std::vector<uint32_t> oids(n);
+  ThreadPool pool(BenchThreads());
+  std::vector<SortScratch> scratches(
+      static_cast<size_t>(pool.num_threads()));
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    ParallelSortPairs16(keys.data(), oids.data(), n, pool, scratches);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelSortPairs16)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSortPairs32(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto master = RandomKeys<uint32_t>(n, 32, 12);
+  std::vector<uint32_t> keys(n), oids(n);
+  ThreadPool pool(BenchThreads());
+  std::vector<SortScratch> scratches(
+      static_cast<size_t>(pool.num_threads()));
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    ParallelSortPairs32(keys.data(), oids.data(), n, pool, scratches);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelSortPairs32)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSortPairs64(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto master = RandomKeys<uint64_t>(n, 64, 13);
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> oids(n);
+  ThreadPool pool(BenchThreads());
+  std::vector<SortScratch> scratches(
+      static_cast<size_t>(pool.num_threads()));
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    ParallelSortPairs64(keys.data(), oids.data(), n, pool, scratches);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelSortPairs64)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_Massage(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -134,6 +204,26 @@ void BM_Gather(benchmark::State& state) {
 }
 BENCHMARK(BM_Gather)->Arg(1 << 16)->Arg(1 << 22);
 
+void BM_ParallelGather(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(16);
+  EncodedColumn src(32, n);
+  for (size_t i = 0; i < n; ++i) src.Set(i, rng.Next() & 0xFFFFFFFF);
+  std::vector<Oid> oids(n);
+  std::iota(oids.begin(), oids.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(oids[i - 1], oids[rng.NextBounded(i)]);
+  }
+  ThreadPool pool(BenchThreads());
+  EncodedColumn out;
+  for (auto _ : state) {
+    GatherColumn(src, oids.data(), n, &out, &pool);
+    benchmark::DoNotOptimize(out.raw_data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelGather)->Arg(1 << 22);
+
 void BM_GroupScan(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(7);
@@ -152,6 +242,25 @@ void BM_GroupScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_GroupScan)->Arg(1 << 20);
+
+void BM_ParallelGroupScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  EncodedColumn keys(20, n);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextBounded(n / 64));
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < n; ++i) keys.Set(i, values[i]);
+  const Segments whole = Segments::Whole(n);
+  ThreadPool pool(BenchThreads());
+  Segments out;
+  for (auto _ : state) {
+    FindGroups(keys, whole, &out, &pool);
+    benchmark::DoNotOptimize(out.bounds.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelGroupScan)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace mcsort

@@ -1,8 +1,20 @@
 #include "mcsort/common/thread_pool.h"
 
+#include <algorithm>
+
 #include "mcsort/common/logging.h"
 
 namespace mcsort {
+namespace {
+
+// Reentrancy guard: which pool (if any) the current thread is a worker of,
+// and its worker index. A nested ParallelFor* from inside a worker runs
+// inline under the outer dispatch's worker index, so per-worker scratch
+// stays consistent and the pool cannot deadlock on itself.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+thread_local int tls_worker_index = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   MCSORT_CHECK(num_threads >= 1);
@@ -23,17 +35,28 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::ParallelFor(
     uint64_t n, const std::function<void(uint64_t, uint64_t, int)>& body) {
   if (n == 0) return;
-  if (num_threads_ == 1 || n < static_cast<uint64_t>(num_threads_)) {
-    body(0, n, 0);
+  if (num_threads_ == 1 || OnWorkerThread()) {
+    body(0, n, OnWorkerThread() ? tls_worker_index : 0);
+    return;
+  }
+  if (n < static_cast<uint64_t>(num_threads_)) {
+    // Fewer items than workers: a static split would leave workers idle
+    // and the old inline fallback serialized everything even when each
+    // item is a large segment. One-item morsels keep all n items
+    // concurrent.
+    ParallelForDynamic(n, 1, body);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
     n_ = n;
+    dynamic_ = false;
     pending_ = num_threads_;
     ++generation_;
   }
@@ -43,11 +66,48 @@ void ThreadPool::ParallelFor(
   body_ = nullptr;
 }
 
+ThreadPool::DynamicStats ThreadPool::ParallelForDynamic(
+    uint64_t n, uint64_t morsel,
+    const std::function<void(uint64_t, uint64_t, int)>& body) {
+  DynamicStats stats;
+  if (n == 0) return stats;
+  if (morsel == 0) morsel = 1;
+  if (num_threads_ == 1 || OnWorkerThread()) {
+    body(0, n, OnWorkerThread() ? tls_worker_index : 0);
+    stats.morsels = 1;
+    stats.workers = 1;
+    return stats;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    dynamic_ = true;
+    morsel_ = morsel;
+    next_.store(0, std::memory_order_relaxed);
+    morsels_done_.store(0, std::memory_order_relaxed);
+    workers_used_.store(0, std::memory_order_relaxed);
+    pending_ = num_threads_;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+  stats.morsels = morsels_done_.load(std::memory_order_relaxed);
+  stats.workers = workers_used_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void ThreadPool::WorkerLoop(int index) {
+  tls_worker_pool = this;
+  tls_worker_index = index;
   uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(uint64_t, uint64_t, int)>* body;
     uint64_t n;
+    bool dynamic;
+    uint64_t morsel;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
@@ -57,15 +117,34 @@ void ThreadPool::WorkerLoop(int index) {
       seen_generation = generation_;
       body = body_;
       n = n_;
+      dynamic = dynamic_;
+      morsel = morsel_;
     }
-    // Balanced contiguous slices: the first (n % T) slices get one extra.
-    const uint64_t threads = static_cast<uint64_t>(num_threads_);
-    const uint64_t base = n / threads;
-    const uint64_t extra = n % threads;
-    const uint64_t idx = static_cast<uint64_t>(index);
-    const uint64_t begin = idx * base + (idx < extra ? idx : extra);
-    const uint64_t end = begin + base + (idx < extra ? 1 : 0);
-    if (begin < end) (*body)(begin, end, index);
+    if (dynamic) {
+      // Morsel mode: claim chunks until the range is drained. Workers that
+      // arrive after the range is exhausted claim nothing and just leave.
+      uint64_t claimed = 0;
+      for (;;) {
+        const uint64_t begin =
+            next_.fetch_add(morsel, std::memory_order_relaxed);
+        if (begin >= n) break;
+        (*body)(begin, std::min(begin + morsel, n), index);
+        ++claimed;
+      }
+      if (claimed > 0) {
+        morsels_done_.fetch_add(claimed, std::memory_order_relaxed);
+        workers_used_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Balanced contiguous slices: the first (n % T) slices get one extra.
+      const uint64_t threads = static_cast<uint64_t>(num_threads_);
+      const uint64_t base = n / threads;
+      const uint64_t extra = n % threads;
+      const uint64_t idx = static_cast<uint64_t>(index);
+      const uint64_t begin = idx * base + (idx < extra ? idx : extra);
+      const uint64_t end = begin + base + (idx < extra ? 1 : 0);
+      if (begin < end) (*body)(begin, end, index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();

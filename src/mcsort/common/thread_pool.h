@@ -1,14 +1,28 @@
-// Minimal fork-join thread pool used by the multithreaded massage and sort
-// paths (Sec. 3 "code massaging can easily support multi-threading" and the
-// Fig. 10 core-scaling experiment).
+// Minimal fork-join thread pool used by the multithreaded massage, sort,
+// lookup, and group-scan paths (Sec. 3 "code massaging can easily support
+// multi-threading" and the Fig. 10 core-scaling experiment).
 //
-// The pool runs exactly `num_threads` persistent workers; ParallelFor splits
-// [0, n) into contiguous chunks, one per worker, and joins. With
-// num_threads == 1 all work runs inline on the caller (no pool started), so
-// single-threaded benchmarks measure no synchronization overhead.
+// The pool runs exactly `num_threads` persistent workers and offers two
+// dispatch modes over an index range [0, n):
+//
+//   ParallelFor        — static contiguous split, one slice per worker.
+//                        Cheapest dispatch; right for uniform work (row
+//                        ranges of a massage pass, merge pairs of equal
+//                        length).
+//   ParallelForDynamic — morsel-driven: workers atomically claim chunks of
+//                        `morsel` indices until the range is drained.
+//                        Right for skewed work (segment lists where one
+//                        group dwarfs the rest) where a static split would
+//                        load-imbalance.
+//
+// With num_threads == 1 all work runs inline on the caller (no pool
+// started), so single-threaded benchmarks measure no synchronization
+// overhead. Nested calls from inside a worker run inline on that worker
+// (reentrancy guard), so library code can parallelize unconditionally.
 #ifndef MCSORT_COMMON_THREAD_POOL_H_
 #define MCSORT_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -20,6 +34,13 @@ namespace mcsort {
 
 class ThreadPool {
  public:
+  // Utilization counters of one dynamic dispatch (surfaced in
+  // RoundProfile so benchmarks can report per-stage parallelism).
+  struct DynamicStats {
+    uint64_t morsels = 0;  // body invocations (chunks claimed)
+    int workers = 0;       // distinct workers that claimed >= 1 morsel
+  };
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -30,13 +51,28 @@ class ThreadPool {
 
   // Runs body(begin, end, worker_index) on each worker for its contiguous
   // slice of [0, n); blocks until all slices complete. Slices are balanced
-  // to within one element.
+  // to within one element. Ranges with fewer items than workers are routed
+  // through the dynamic path (morsel = 1) so small-n/large-item workloads
+  // (e.g. two huge merge pairs) still run concurrently.
   void ParallelFor(
       uint64_t n,
       const std::function<void(uint64_t, uint64_t, int)>& body);
 
+  // Morsel-driven dispatch: workers repeatedly claim the next `morsel`
+  // indices of [0, n) with an atomic counter and run
+  // body(begin, end, worker_index) on each claimed chunk (end - begin <=
+  // morsel). Blocks until the range is drained. morsel == 0 is treated as
+  // 1. Inline execution (single-threaded pool or nested call) runs the
+  // whole range as one chunk.
+  DynamicStats ParallelForDynamic(
+      uint64_t n, uint64_t morsel,
+      const std::function<void(uint64_t, uint64_t, int)>& body);
+
  private:
   void WorkerLoop(int index);
+  // True when the calling thread is one of this pool's workers; such calls
+  // must run inline (the workers are all busy running the outer dispatch).
+  bool OnWorkerThread() const;
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -50,6 +86,12 @@ class ThreadPool {
   bool shutdown_ = false;
   const std::function<void(uint64_t, uint64_t, int)>* body_ = nullptr;
   uint64_t n_ = 0;
+  // Dynamic-mode round state (published under mu_, claimed via next_).
+  bool dynamic_ = false;
+  uint64_t morsel_ = 1;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> morsels_done_{0};
+  std::atomic<int> workers_used_{0};
 };
 
 }  // namespace mcsort

@@ -1,5 +1,6 @@
 #include "mcsort/engine/multi_column_sorter.h"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
@@ -18,6 +19,9 @@ void* RawAt(EncodedColumn* column, size_t offset) {
     case PhysicalType::kU32: return column->Data32() + offset;
     case PhysicalType::kU64: return column->Data64() + offset;
   }
+  // A new PhysicalType must be wired into every dispatch, not silently
+  // treated as a null array.
+  MCSORT_CHECK(false && "unhandled PhysicalType in RawAt");
   return nullptr;
 }
 
@@ -27,8 +31,27 @@ int BankOfType(PhysicalType type) {
     case PhysicalType::kU32: return 32;
     case PhysicalType::kU64: return 64;
   }
-  return 64;
+  MCSORT_CHECK(false && "unhandled PhysicalType in BankOfType");
+  return 0;
 }
+
+// Segments of at least this many rows (and at least a 1/(2T) share of the
+// round) are sorted by the cooperative parallel split+merge sorter instead
+// of being one worker's morsel: a single dominant group would otherwise
+// serialize the round on one core.
+uint32_t CooperativeSortThreshold(size_t round_rows, int workers) {
+  const uint64_t share =
+      round_rows / (2 * static_cast<uint64_t>(workers));
+  return static_cast<uint32_t>(
+      std::max<uint64_t>(kParallelSortMinRows, share));
+}
+
+// Segments per dynamic morsel: mid-size segments are claimed one at a
+// time (a relaxed fetch_add per segment is noise next to sorting >32
+// rows); tiny segments are batched so dispatch does not dominate the
+// few-element insertion sorts the later rounds produce in bulk.
+constexpr uint64_t kMidSortMorselSegments = 1;
+constexpr uint64_t kTinySortMorselSegments = 256;
 
 }  // namespace
 
@@ -50,35 +73,69 @@ void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
   profile->num_sorts = num_sorts;
 
   const int key_width = keys->width();
-  // One whole-array sort (the typical first round) with a pool available:
-  // use the parallel split + parallel-merge path for the 32-bit bank.
-  if (pool_ != nullptr && pool_->num_threads() > 1 &&
-      segments.count() == 1 && bank == 32 &&
-      kernel_ == SortKernel::kSimdMerge && segments.length(0) > 1) {
-    const uint32_t begin = segments.begin(0);
-    ParallelSortPairs32(keys->Data32() + begin, oids + begin,
-                        segments.length(0), *pool_, scratch_);
-    return;
-  }
-  auto sort_range = [&](size_t seg_begin, size_t seg_end, int worker) {
-    SortScratch& scratch = scratch_[static_cast<size_t>(worker)];
-    for (size_t s = seg_begin; s < seg_end; ++s) {
-      const uint32_t begin = segments.begin(s);
-      const uint32_t len = segments.length(s);
-      if (len <= 1) continue;  // singleton groups need no sorting
-      if (kernel_ == SortKernel::kRadix) {
-        RadixSortPairsBank(bank, RawAt(keys, begin), oids + begin, len,
-                           key_width, scratch);
-      } else {
-        SortPairsBank(bank, RawAt(keys, begin), oids + begin, len, scratch);
-      }
+  const auto sort_one = [&](size_t s, SortScratch& scratch) {
+    const uint32_t begin = segments.begin(s);
+    const uint32_t len = segments.length(s);
+    if (kernel_ == SortKernel::kRadix) {
+      RadixSortPairsBank(bank, RawAt(keys, begin), oids + begin, len,
+                         key_width, scratch);
+    } else {
+      SortPairsBank(bank, RawAt(keys, begin), oids + begin, len, scratch);
     }
   };
-  if (pool_ != nullptr && pool_->num_threads() > 1 && segments.count() > 1) {
-    pool_->ParallelFor(segments.count(), sort_range);
-  } else {
-    sort_range(0, segments.count(), 0);
+
+  if (pool_ == nullptr || pool_->num_threads() <= 1) {
+    for (size_t s = 0; s < segments.count(); ++s) {
+      if (segments.length(s) > 1) sort_one(s, scratch_[0]);
+    }
+    return;
   }
+
+  // Morsel-driven parallel round: bucket the segments by size. Skewed
+  // group lists (one huge group plus thousands of tiny ones — the normal
+  // shape of later rounds) defeat a static contiguous split, so everything
+  // below the cooperative threshold is claimed dynamically.
+  const uint32_t huge_len =
+      CooperativeSortThreshold(keys->size(), pool_->num_threads());
+  std::vector<uint32_t> huge;  // cooperative parallel sorts, one at a time
+  std::vector<uint32_t> mid;   // one-segment morsels
+  std::vector<uint32_t> tiny;  // batched morsels of insertion sorts
+  for (size_t s = 0; s < segments.count(); ++s) {
+    const uint32_t len = segments.length(s);
+    if (len <= 1) continue;
+    // The cooperative sorter is merge-based; radix rounds keep whole
+    // segments as work units.
+    if (kernel_ == SortKernel::kSimdMerge && len >= huge_len) {
+      huge.push_back(static_cast<uint32_t>(s));
+    } else if (len > kSimdSortInsertionMax) {
+      mid.push_back(static_cast<uint32_t>(s));
+    } else {
+      tiny.push_back(static_cast<uint32_t>(s));
+    }
+  }
+
+  for (const uint32_t s : huge) {
+    const uint32_t begin = segments.begin(s);
+    ParallelSortPairsBank(bank, RawAt(keys, begin), oids + begin,
+                          segments.length(s), *pool_, scratch_);
+  }
+  profile->cooperative_sorts = huge.size();
+
+  const auto sort_bucket = [&](const std::vector<uint32_t>& bucket,
+                               uint64_t morsel) {
+    const ThreadPool::DynamicStats stats = pool_->ParallelForDynamic(
+        bucket.size(), morsel,
+        [&](uint64_t begin, uint64_t end, int worker) {
+          SortScratch& scratch = scratch_[static_cast<size_t>(worker)];
+          for (uint64_t i = begin; i < end; ++i) {
+            sort_one(bucket[static_cast<size_t>(i)], scratch);
+          }
+        });
+    profile->sort_morsels += stats.morsels;
+    profile->sort_workers = std::max(profile->sort_workers, stats.workers);
+  };
+  sort_bucket(mid, kMidSortMorselSegments);
+  sort_bucket(tiny, kTinySortMorselSegments);
 }
 
 MultiColumnSortResult MultiColumnSorter::Sort(
@@ -105,7 +162,9 @@ MultiColumnSortResult MultiColumnSorter::Sort(
     if (j > 0) {
       // Lookup: reorder this round's key column into the current order.
       timer.Restart();
-      GatherColumn(round_keys[j], result.oids.data(), n, &gathered);
+      profile.lookup_morsels =
+          GatherColumn(round_keys[j], result.oids.data(), n, &gathered,
+                       pool_);
       profile.lookup_seconds = timer.Seconds();
       keys = &gathered;
     }
@@ -117,7 +176,7 @@ MultiColumnSortResult MultiColumnSorter::Sort(
 
     timer.Restart();
     Segments refined;
-    FindGroups(*keys, segments, &refined);
+    profile.scan_chunks = FindGroups(*keys, segments, &refined, pool_);
     segments = std::move(refined);
     profile.scan_seconds = timer.Seconds();
     profile.num_groups = segments.count();

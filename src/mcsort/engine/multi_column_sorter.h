@@ -31,6 +31,15 @@ struct RoundProfile {
   double scan_seconds = 0;    // group-boundary extraction
   size_t num_groups = 0;      // N_group after this round
   size_t num_sorts = 0;       // N_sort: non-singleton groups sorted
+
+  // Morsel-driven parallelism instrumentation (all zero for serial runs).
+  size_t cooperative_sorts = 0;  // huge segments sorted by the parallel
+                                 // split+merge sorter (all workers)
+  size_t sort_morsels = 0;       // dynamic morsels claimed for mid/tiny
+                                 // segment sorts
+  int sort_workers = 0;          // max workers on any segment-sort dispatch
+  size_t lookup_morsels = 0;     // parallel gather chunks
+  size_t scan_chunks = 0;        // parallel group-scan chunks
 };
 
 struct MultiColumnSortResult {
@@ -72,10 +81,17 @@ class MultiColumnSorter {
   MultiColumnSortResult SortColumnAtATime(
       const std::vector<MassageInput>& inputs);
 
- private:
+  // Sorts every non-singleton segment of `keys` in place, permuting the
+  // matching `oids` range. With a multi-worker pool, segments are bucketed
+  // by size: huge ones run the cooperative parallel split+merge sorter
+  // (all banks), mid-size ones are claimed dynamically as morsels of
+  // segments, and tiny (insertion-sort-sized) ones ride in large morsels
+  // to amortize dispatch. Public so the pipeline interpreter shares one
+  // executor with the bulk path.
   void SortSegments(int bank, EncodedColumn* keys, Oid* oids,
                     const Segments& segments, RoundProfile* profile);
 
+ private:
   ThreadPool* pool_;
   SortKernel kernel_;
   std::vector<SortScratch> scratch_;  // one per worker

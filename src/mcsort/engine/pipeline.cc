@@ -7,7 +7,6 @@
 #include "mcsort/massage/massage.h"
 #include "mcsort/scan/group_scan.h"
 #include "mcsort/scan/lookup.h"
-#include "mcsort/sort/simd_sort.h"
 
 namespace mcsort {
 namespace {
@@ -99,7 +98,8 @@ std::string PipelineToString(const std::vector<Instruction>& pipeline) {
 }
 
 MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
-                                      const std::vector<MassageInput>& inputs) {
+                                      const std::vector<MassageInput>& inputs,
+                                      ThreadPool* pool) {
   MCSORT_CHECK(!pipeline.empty());
   MCSORT_CHECK(pipeline.front().op == OpCode::kCodeMassage);
   MCSORT_CHECK(!inputs.empty());
@@ -117,7 +117,9 @@ MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
   EncodedColumn current;  // the looked-up round key the next sort consumes
   int current_round = -1;
   Segments segments = Segments::Whole(n);
-  SortScratch scratch;
+  // One executor shared by all kSimdSort instructions: the interpreter
+  // sorts segments through the same morsel-driven policy as the bulk path.
+  MultiColumnSorter sorter(pool);
 
   const auto key_for = [&](int round) -> EncodedColumn* {
     if (current_round == round) return &current;
@@ -127,47 +129,33 @@ MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
   for (const Instruction& instruction : pipeline) {
     switch (instruction.op) {
       case OpCode::kCodeMassage:
-        round_keys = ApplyMassage(inputs, instruction.plan);
+        round_keys = ApplyMassage(inputs, instruction.plan, pool);
         result.massage_seconds = 0;
         result.rounds.assign(instruction.plan.num_rounds(), RoundProfile{});
         break;
       case OpCode::kLookup: {
         EncodedColumn gathered;
-        GatherColumn(round_keys[static_cast<size_t>(instruction.round)],
-                     result.oids.data(), n, &gathered);
+        result.rounds[static_cast<size_t>(instruction.round)].lookup_morsels =
+            GatherColumn(round_keys[static_cast<size_t>(instruction.round)],
+                         result.oids.data(), n, &gathered, pool);
         current = std::move(gathered);
         current_round = instruction.round;
         break;
       }
       case OpCode::kSimdSort: {
-        EncodedColumn* keys = key_for(instruction.round);
-        for (size_t s = 0; s < segments.count(); ++s) {
-          const uint32_t begin = segments.begin(s);
-          const uint32_t len = segments.length(s);
-          if (len <= 1) continue;
-          switch (keys->type()) {
-            case PhysicalType::kU16:
-              SortPairs16(keys->Data16() + begin, result.oids.data() + begin,
-                          len, scratch);
-              break;
-            case PhysicalType::kU32:
-              SortPairs32(keys->Data32() + begin, result.oids.data() + begin,
-                          len, scratch);
-              break;
-            case PhysicalType::kU64:
-              SortPairs64(keys->Data64() + begin, result.oids.data() + begin,
-                          len, scratch);
-              break;
-          }
-        }
+        sorter.SortSegments(
+            instruction.bank, key_for(instruction.round), result.oids.data(),
+            segments, &result.rounds[static_cast<size_t>(instruction.round)]);
         break;
       }
       case OpCode::kScanGroups: {
+        RoundProfile& profile =
+            result.rounds[static_cast<size_t>(instruction.round)];
         Segments refined;
-        FindGroups(*key_for(instruction.round), segments, &refined);
+        profile.scan_chunks =
+            FindGroups(*key_for(instruction.round), segments, &refined, pool);
         segments = std::move(refined);
-        result.rounds[static_cast<size_t>(instruction.round)].num_groups =
-            segments.count();
+        profile.num_groups = segments.count();
         break;
       }
     }

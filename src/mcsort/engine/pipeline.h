@@ -66,9 +66,12 @@ std::vector<Instruction> RewriteFastMcs(const std::vector<Instruction>& input,
 std::string PipelineToString(const std::vector<Instruction>& pipeline);
 
 // Interprets a pipeline against the inputs. The pipeline's massage plan
-// widths must cover the inputs' total width.
+// widths must cover the inputs' total width. A non-null `pool` runs every
+// operator (massage, lookup, segment sorts, group scan) through the
+// morsel-driven parallel executor, sharing MultiColumnSorter's policy.
 MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
-                                      const std::vector<MassageInput>& inputs);
+                                      const std::vector<MassageInput>& inputs,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace mcsort
 

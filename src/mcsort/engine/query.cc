@@ -117,7 +117,8 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
   for (const std::string& name : attrs.names) {
     if (has_filter) {
       EncodedColumn gathered;
-      GatherColumn(table_.column(name), filtered_oids.data(), n, &gathered);
+      GatherColumn(table_.column(name), filtered_oids.data(), n, &gathered,
+                   options_.pool);
       sort_columns.push_back(std::move(gathered));
     }
   }
@@ -198,7 +199,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
     }
     EncodedColumn measure;
     GatherColumn(table_.column(agg.column), result.result_oids.data(), n,
-                 &measure);
+                 &measure, options_.pool);
     agg_results.push_back(AggregateGroups(
         agg.op, measure, table_.domain_base(agg.column), sorted.groups));
   }
@@ -217,15 +218,15 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
     EncodedColumn gathered;
     for (const std::string& name : spec.partition_by) {
       GatherColumn(table_.column(name), result.result_oids.data(), n,
-                   &gathered);
+                   &gathered, options_.pool);
       Segments refined;
-      FindGroups(gathered, partitions, &refined);
+      FindGroups(gathered, partitions, &refined, options_.pool);
       partitions = std::move(refined);
     }
     result.num_groups = partitions.count();
     EncodedColumn window_key;
     GatherColumn(table_.column(spec.window_order_column),
-                 result.result_oids.data(), n, &window_key);
+                 result.result_oids.data(), n, &window_key, options_.pool);
     result.ranks = RankOverPartitions(partitions, window_key);
   }
   result.post_seconds += timer.Seconds();

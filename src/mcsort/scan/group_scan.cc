@@ -1,6 +1,9 @@
 #include "mcsort/scan/group_scan.h"
 
+#include <algorithm>
+
 #include "mcsort/common/logging.h"
+#include "mcsort/common/thread_pool.h"
 
 namespace mcsort {
 namespace {
@@ -21,12 +24,87 @@ void FindGroupsTyped(const K* keys, const Segments& parents, Segments* out) {
   }
 }
 
+// Boundaries falling in the half-open cut range (lo, hi]: key changes
+// strictly inside a parent segment, and ends of non-empty parents. The
+// serial scan emits exactly these values in ascending order, so chunking
+// the cut range and concatenating the per-chunk lists reproduces it.
+template <typename K>
+void CollectCuts(const K* keys, const Segments& parents, uint64_t lo,
+                 uint64_t hi, std::vector<uint32_t>* cuts) {
+  const std::vector<uint32_t>& bounds = parents.bounds;
+  // First parent whose end exceeds lo: parent j-1 for the first bound
+  // strictly greater than lo.
+  const size_t j = static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), lo) - bounds.begin());
+  MCSORT_DCHECK(j >= 1);
+  for (size_t s = j - 1; s < parents.count() && parents.begin(s) < hi; ++s) {
+    const uint64_t begin = parents.begin(s);
+    const uint64_t end = parents.end(s);
+    if (begin == end) continue;  // empty parent contributes no group
+    const uint64_t from = std::max(begin + 1, lo + 1);
+    const uint64_t to = std::min(end, hi + 1);  // interior cuts are < end
+    for (uint64_t i = from; i < to; ++i) {
+      if (keys[i] != keys[i - 1]) {
+        cuts->push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (end > lo && end <= hi) cuts->push_back(static_cast<uint32_t>(end));
+  }
+}
+
+template <typename K>
+size_t FindGroupsChunked(const K* keys, const Segments& parents,
+                         Segments* out, ThreadPool* pool) {
+  const uint64_t front = parents.bounds.front();
+  const uint64_t back = parents.bounds.back();
+  const uint64_t rows = back - front;
+  const size_t num_chunks =
+      static_cast<size_t>((rows + kGroupScanChunkRows - 1) /
+                          kGroupScanChunkRows);
+  std::vector<std::vector<uint32_t>> chunk_cuts(num_chunks);
+  pool->ParallelForDynamic(
+      num_chunks, 1, [&](uint64_t begin, uint64_t end, int) {
+        for (uint64_t c = begin; c < end; ++c) {
+          const uint64_t lo = front + c * kGroupScanChunkRows;
+          const uint64_t hi =
+              std::min(front + (c + 1) * kGroupScanChunkRows, back);
+          CollectCuts(keys, parents, lo, hi,
+                      &chunk_cuts[static_cast<size_t>(c)]);
+        }
+      });
+  // Stitch: the final bounds are the shared front plus every chunk's cuts
+  // in chunk order.
+  size_t total = 1;
+  for (const std::vector<uint32_t>& cuts : chunk_cuts) total += cuts.size();
+  out->bounds.clear();
+  out->bounds.reserve(total);
+  out->bounds.push_back(static_cast<uint32_t>(front));
+  for (const std::vector<uint32_t>& cuts : chunk_cuts) {
+    out->bounds.insert(out->bounds.end(), cuts.begin(), cuts.end());
+  }
+  return num_chunks;
+}
+
 }  // namespace
 
-void FindGroups(const EncodedColumn& keys, const Segments& parents,
-                Segments* out) {
+size_t FindGroups(const EncodedColumn& keys, const Segments& parents,
+                  Segments* out, ThreadPool* pool) {
   if (parents.count() > 0) {
     MCSORT_CHECK(parents.bounds.back() == keys.size());
+  }
+  const uint64_t rows =
+      parents.count() > 0 ? parents.bounds.back() - parents.bounds.front()
+                          : 0;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      rows >= 2 * kGroupScanChunkRows) {
+    switch (keys.type()) {
+      case PhysicalType::kU16:
+        return FindGroupsChunked(keys.Data16(), parents, out, pool);
+      case PhysicalType::kU32:
+        return FindGroupsChunked(keys.Data32(), parents, out, pool);
+      case PhysicalType::kU64:
+        return FindGroupsChunked(keys.Data64(), parents, out, pool);
+    }
   }
   switch (keys.type()) {
     case PhysicalType::kU16:
@@ -39,6 +117,7 @@ void FindGroups(const EncodedColumn& keys, const Segments& parents,
       FindGroupsTyped(keys.Data64(), parents, out);
       break;
   }
+  return parents.count() > 0 ? 1 : 0;
 }
 
 size_t CountNonSingleton(const Segments& segments) {

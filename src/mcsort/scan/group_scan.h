@@ -2,6 +2,13 @@
 // splits each parent segment at every key change — the paper's "Scan"
 // operator (Step 2b in Fig. 2a) that feeds the next sorting round its
 // groups of tied values. Its cost is T_scan (Eq. 9): one sequential pass.
+//
+// With a thread pool the row range is cut into fixed-size chunks; every
+// chunk detects the boundaries that fall inside it (key changes within a
+// parent segment, plus parent ends) into a private list, and the lists are
+// stitched back in chunk order. Because each boundary is attributed to
+// exactly one chunk, the stitched result is bit-identical to the serial
+// scan — tested property.
 #ifndef MCSORT_SCAN_GROUP_SCAN_H_
 #define MCSORT_SCAN_GROUP_SCAN_H_
 
@@ -12,6 +19,11 @@
 #include "mcsort/storage/types.h"
 
 namespace mcsort {
+
+class ThreadPool;  // common/thread_pool.h
+
+// Rows per chunk of a parallel group scan.
+constexpr size_t kGroupScanChunkRows = size_t{1} << 16;
 
 // Segment list over [0, n): bounds = {b0 = 0, b1, ..., bk = n}; segment i is
 // [bounds[i], bounds[i+1]).
@@ -32,9 +44,11 @@ struct Segments {
 };
 
 // Splits every parent segment of `keys` (sorted within each parent) at key
-// changes. Returns the refined segmentation; `out` may alias nothing.
-void FindGroups(const EncodedColumn& keys, const Segments& parents,
-                Segments* out);
+// changes. Returns the refined segmentation in `out` (which may alias
+// nothing) and the number of scan chunks executed (1 for a serial run on
+// nonempty input). If `pool` is non-null the scan runs chunk-parallel.
+size_t FindGroups(const EncodedColumn& keys, const Segments& parents,
+                  Segments* out, ThreadPool* pool = nullptr);
 
 // Counts how many of the segments have more than one row (the paper's
 // N_sort: singleton groups skip sorting in the next round).

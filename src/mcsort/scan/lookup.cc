@@ -1,6 +1,7 @@
 #include "mcsort/scan/lookup.h"
 
 #include "mcsort/common/logging.h"
+#include "mcsort/common/thread_pool.h"
 #include "mcsort/simd/simd.h"
 
 namespace mcsort {
@@ -46,22 +47,35 @@ void Gather64(const uint64_t* src, const Oid* oids, size_t n, uint64_t* out) {
 
 }  // namespace
 
-void GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
-                  EncodedColumn* out) {
+size_t GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
+                    EncodedColumn* out, ThreadPool* pool) {
   // Preserve the source's physical type: round keys may be typed for a
   // bank wider than their code width. No zero-fill: every slot is written.
   out->ResetTyped(src.width(), src.type(), n, /*zero_fill=*/false);
-  switch (src.type()) {
-    case PhysicalType::kU16:
-      Gather16(src.Data16(), oids, n, out->Data16());
-      break;
-    case PhysicalType::kU32:
-      Gather32(src.Data32(), oids, n, out->Data32());
-      break;
-    case PhysicalType::kU64:
-      Gather64(src.Data64(), oids, n, out->Data64());
-      break;
+  // Each morsel gathers into its own disjoint chunk of the output, so the
+  // workers share no written bytes.
+  const auto gather_range = [&](uint64_t begin, uint64_t end, int) {
+    const size_t len = static_cast<size_t>(end - begin);
+    switch (src.type()) {
+      case PhysicalType::kU16:
+        Gather16(src.Data16(), oids + begin, len, out->Data16() + begin);
+        break;
+      case PhysicalType::kU32:
+        Gather32(src.Data32(), oids + begin, len, out->Data32() + begin);
+        break;
+      case PhysicalType::kU64:
+        Gather64(src.Data64(), oids + begin, len, out->Data64() + begin);
+        break;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      n >= 2 * kGatherMorselRows) {
+    return pool->ParallelForDynamic(n, kGatherMorselRows, gather_range)
+        .morsels;
   }
+  if (n == 0) return 0;
+  gather_range(0, n, 0);
+  return 1;
 }
 
 void GatherFromByteSlice(const ByteSliceColumn& src, const Oid* oids,

@@ -3,7 +3,10 @@
 // This is the paper's Lookup physical operator (Step 2a in Fig. 2a) — the
 // reorder step between sorting rounds that code massaging eliminates. It is
 // N random accesses, which is exactly what the cost model's T_lookup
-// (Eq. 3) charges for.
+// (Eq. 3) charges for. With a thread pool the oid list is split into
+// morsels gathered concurrently into disjoint chunks of the shared output
+// (each chunk's writes are sequential; the random reads are what the
+// memory system must absorb either way).
 #ifndef MCSORT_SCAN_LOOKUP_H_
 #define MCSORT_SCAN_LOOKUP_H_
 
@@ -15,10 +18,19 @@
 
 namespace mcsort {
 
+class ThreadPool;  // common/thread_pool.h
+
+// Rows per morsel of a parallel gather: large enough that the atomic
+// claim is noise, small enough to rebalance when chunks hit uneven TLB /
+// cache locality.
+constexpr size_t kGatherMorselRows = size_t{1} << 16;
+
 // out[i] = src[oids[i]]; `out` is reset to src's width and n rows.
-// Uses AVX2 gathers for the 32/64-bit physical types.
-void GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
-                  EncodedColumn* out);
+// Uses AVX2 gathers for the 32/64-bit physical types. If `pool` is
+// non-null the output is produced in parallel morsels. Returns the number
+// of morsels executed (1 for a serial run on nonempty input).
+size_t GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
+                    EncodedColumn* out, ThreadPool* pool = nullptr);
 
 // ByteSlice lookup: stitches the bytes of each requested row back into a
 // code ([14]'s byte-stitching lookup).

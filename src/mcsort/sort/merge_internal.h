@@ -21,6 +21,7 @@
 
 #include "mcsort/common/aligned_buffer.h"
 #include "mcsort/common/logging.h"
+#include "mcsort/common/thread_pool.h"
 #include "mcsort/simd/kernels32.h"
 #include "mcsort/simd/kernels64.h"
 #include "mcsort/simd/simd.h"
@@ -391,6 +392,49 @@ void FourWayMergePass(const typename Ops::Key* src_k,
     const size_t b4 = std::min(i + 4 * run, end);
     FourWayMerge<Ops>(src_k, src_p, dst_k, dst_p, i, b1, b2, b3, b4,
                       scratch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pairwise merge passes
+// ---------------------------------------------------------------------------
+
+// Merges adjacent sorted runs of length `part_len` in (keys, pays) by
+// parallel pairwise passes, ping-ponging with (alt_k, alt_p); each pass
+// dispatches one pool item per merge pair (a single lone pair still runs
+// concurrently via the pool's dynamic small-n path, each side streamed by
+// MergeRuns). Guarantees the result ends up back in (keys, pays). Shared
+// by the per-bank parallel whole-array sorts.
+template <typename Ops>
+void ParallelMergePasses(typename Ops::Key* keys, typename Ops::Pay* pays,
+                         typename Ops::Key* alt_k, typename Ops::Pay* alt_p,
+                         size_t n, size_t part_len, ThreadPool& pool) {
+  using Key = typename Ops::Key;
+  using Pay = typename Ops::Pay;
+  Key* cur_k = keys;
+  Pay* cur_p = pays;
+  for (size_t run = part_len; run < n; run *= 2) {
+    const size_t num_pairs = (n + 2 * run - 1) / (2 * run);
+    pool.ParallelFor(num_pairs, [&](uint64_t begin, uint64_t end, int) {
+      for (uint64_t pair = begin; pair < end; ++pair) {
+        const size_t i = static_cast<size_t>(pair) * 2 * run;
+        const size_t mid = std::min(i + run, n);
+        const size_t stop = std::min(i + 2 * run, n);
+        if (mid >= stop) {  // lone (already sorted) run: carry over
+          std::memcpy(alt_k + i, cur_k + i, (stop - i) * sizeof(Key));
+          std::memcpy(alt_p + i, cur_p + i, (stop - i) * sizeof(Pay));
+        } else {
+          MergeRuns<Ops>(cur_k + i, cur_p + i, mid - i, cur_k + mid,
+                         cur_p + mid, stop - mid, alt_k + i, alt_p + i);
+        }
+      }
+    });
+    std::swap(cur_k, alt_k);
+    std::swap(cur_p, alt_p);
+  }
+  if (cur_k != keys) {
+    std::memcpy(keys, cur_k, n * sizeof(Key));
+    std::memcpy(pays, cur_p, n * sizeof(Pay));
   }
 }
 

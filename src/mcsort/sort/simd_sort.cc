@@ -16,7 +16,7 @@ namespace {
 
 // Below this size the whole sort is a single insertion sort; the SIMD
 // machinery's fixed costs do not pay off for tiny per-group sorts.
-constexpr size_t kInsertionMax = 32;
+constexpr size_t kInsertionMax = kSimdSortInsertionMax;
 
 #if MCSORT_HAVE_AVX2
 
@@ -206,7 +206,7 @@ void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
   MCSORT_CHECK(scratches.size() >=
                static_cast<size_t>(pool.num_threads()));
 #if MCSORT_HAVE_AVX2
-  if (pool.num_threads() <= 1 || n < 4096) {
+  if (pool.num_threads() <= 1 || n < kParallelSortMinRows) {
     SortPairs32(keys, oids, n, scratches[0]);
     return;
   }
@@ -215,7 +215,7 @@ void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
   while (parts < static_cast<size_t>(pool.num_threads())) parts *= 2;
   const size_t part_len = (n + parts - 1) / parts;
 
-  pool.ParallelFor(parts, [&](size_t begin, size_t end, int worker) {
+  pool.ParallelFor(parts, [&](uint64_t begin, uint64_t end, int worker) {
     for (size_t p = begin; p < end; ++p) {
       const size_t lo = p * part_len;
       if (lo >= n) break;
@@ -228,38 +228,118 @@ void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
   // Parallel pairwise merge passes, ping-ponging with scratches[0].
   scratches[0].u32_a.EnsureDiscard(n);
   scratches[0].u32_b.EnsureDiscard(n);
-  uint32_t* cur_k = keys;
-  uint32_t* cur_o = oids;
-  uint32_t* alt_k = scratches[0].u32_a.data();
-  uint32_t* alt_o = scratches[0].u32_b.data();
-  for (size_t run = part_len; run < n; run *= 2) {
-    const size_t num_pairs = (n + 2 * run - 1) / (2 * run);
-    pool.ParallelFor(num_pairs, [&](size_t begin, size_t end, int) {
-      for (size_t pair = begin; pair < end; ++pair) {
-        const size_t i = pair * 2 * run;
-        const size_t mid = std::min(i + run, n);
-        const size_t stop = std::min(i + 2 * run, n);
-        if (mid >= stop) {
-          std::memcpy(alt_k + i, cur_k + i, (stop - i) * sizeof(uint32_t));
-          std::memcpy(alt_o + i, cur_o + i, (stop - i) * sizeof(uint32_t));
-        } else {
-          sort_internal::MergeRuns<Ops32>(cur_k + i, cur_o + i, mid - i,
-                                          cur_k + mid, cur_o + mid,
-                                          stop - mid, alt_k + i, alt_o + i);
-        }
-      }
-    });
-    std::swap(cur_k, alt_k);
-    std::swap(cur_o, alt_o);
-  }
-  if (cur_k != keys) {
-    std::memcpy(keys, cur_k, n * sizeof(uint32_t));
-    std::memcpy(oids, cur_o, n * sizeof(uint32_t));
-  }
+  sort_internal::ParallelMergePasses<Ops32>(keys, oids,
+                                            scratches[0].u32_a.data(),
+                                            scratches[0].u32_b.data(), n,
+                                            part_len, pool);
 #else
   SortPairs32(keys, oids, n, scratches[0]);
   (void)pool;
 #endif
+}
+
+void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
+                         ThreadPool& pool,
+                         std::vector<SortScratch>& scratches) {
+  MCSORT_CHECK(scratches.size() >=
+               static_cast<size_t>(pool.num_threads()));
+#if MCSORT_HAVE_AVX2
+  if (pool.num_threads() <= 1 || n < kParallelSortMinRows) {
+    SortPairs16(keys, oids, n, scratches[0]);
+    return;
+  }
+  // Widen to 32-bit lanes (footnote 4, as in the serial kernel) — the
+  // widened copy lives in scratches[0].u32_c, which the 32-bit parallel
+  // sort never touches — run the 32-bit parallel sort, narrow back.
+  scratches[0].u32_c.EnsureDiscard(n);
+  uint32_t* wide = scratches[0].u32_c.data();
+  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
+    for (size_t i = begin; i < end; ++i) wide[i] = keys[i];
+  });
+  ParallelSortPairs32(wide, oids, n, pool, scratches);
+  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] = static_cast<uint16_t>(wide[i]);
+    }
+  });
+#else
+  SortPairs16(keys, oids, n, scratches[0]);
+  (void)pool;
+#endif
+}
+
+void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
+                         ThreadPool& pool,
+                         std::vector<SortScratch>& scratches) {
+  MCSORT_CHECK(scratches.size() >=
+               static_cast<size_t>(pool.num_threads()));
+#if MCSORT_HAVE_AVX2
+  if (pool.num_threads() <= 1 || n < kParallelSortMinRows) {
+    SortPairs64(keys, oids, n, scratches[0]);
+    return;
+  }
+  // 64-bit banks carry 64-bit payload lanes; widen the oids once into
+  // scratches[0].u64_c (the per-part sorts only use u64_a/u64_b).
+  scratches[0].u64_c.EnsureDiscard(n);
+  uint64_t* pay = scratches[0].u64_c.data();
+  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
+    for (size_t i = begin; i < end; ++i) pay[i] = oids[i];
+  });
+
+  size_t parts = 1;
+  while (parts < static_cast<size_t>(pool.num_threads())) parts *= 2;
+  const size_t part_len = (n + parts - 1) / parts;
+  pool.ParallelFor(parts, [&](uint64_t begin, uint64_t end, int worker) {
+    SortScratch& scratch = scratches[static_cast<size_t>(worker)];
+    for (size_t p = begin; p < end; ++p) {
+      const size_t lo = p * part_len;
+      if (lo >= n) break;
+      const size_t len = std::min(lo + part_len, n) - lo;
+      scratch.u64_a.EnsureDiscard(len);
+      scratch.u64_b.EnsureDiscard(len);
+      SortCore<Ops64>(keys + lo, pay + lo, scratch.u64_a.data(),
+                      scratch.u64_b.data(), len, &FourWay64());
+    }
+  });
+
+  // The part sorts are done with scratches[0]'s ping-pong buffers; regrow
+  // them to full length for the merge passes.
+  scratches[0].u64_a.EnsureDiscard(n);
+  scratches[0].u64_b.EnsureDiscard(n);
+  sort_internal::ParallelMergePasses<Ops64>(keys, pay,
+                                            scratches[0].u64_a.data(),
+                                            scratches[0].u64_b.data(), n,
+                                            part_len, pool);
+  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
+    for (size_t i = begin; i < end; ++i) {
+      oids[i] = static_cast<uint32_t>(pay[i]);
+    }
+  });
+#else
+  SortPairs64(keys, oids, n, scratches[0]);
+  (void)pool;
+#endif
+}
+
+void ParallelSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
+                           ThreadPool& pool,
+                           std::vector<SortScratch>& scratches) {
+  switch (bank) {
+    case 16:
+      ParallelSortPairs16(static_cast<uint16_t*>(keys), oids, n, pool,
+                          scratches);
+      break;
+    case 32:
+      ParallelSortPairs32(static_cast<uint32_t*>(keys), oids, n, pool,
+                          scratches);
+      break;
+    case 64:
+      ParallelSortPairs64(static_cast<uint64_t*>(keys), oids, n, pool,
+                          scratches);
+      break;
+    default:
+      MCSORT_CHECK(false && "unsupported bank size");
+  }
 }
 
 void SortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,

@@ -26,6 +26,15 @@
 
 namespace mcsort {
 
+// Below this many rows SortPairs* short-circuits to a single insertion
+// sort. Exposed so the segment-sort executor can bucket "tiny" groups
+// (later sorting rounds produce many of them) and batch their dispatch.
+constexpr size_t kSimdSortInsertionMax = 32;
+
+// Below this many rows the parallel whole-array sorts fall back to the
+// serial kernels: split + merge bookkeeping does not pay off.
+constexpr size_t kParallelSortMinRows = 4096;
+
 // Reusable scratch for the sort routines. One instance per thread; reusing
 // it across calls keeps the per-call overhead (the cost model's C_overhead)
 // to buffer bookkeeping rather than repeated large allocations.
@@ -54,14 +63,27 @@ void SortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
 
 class ThreadPool;  // common/thread_pool.h
 
-// Parallel whole-array sort for the 32-bit bank (the common first-round
-// case): the array is split into 2^k parts sorted concurrently (one
-// SortScratch per worker), then merged by parallel pairwise passes.
-// `scratches` must hold one entry per pool worker; scratches[0] also
-// provides the ping-pong buffers for the merge passes.
+// Parallel whole-array sorts, one per bank: the array is split into 2^k
+// parts sorted concurrently (one SortScratch per worker), then merged by
+// parallel pairwise passes. `scratches` must hold one entry per pool
+// worker; scratches[0] also provides the ping-pong buffers for the merge
+// passes (and the widening buffer for the 16/64-bit banks). Arrays below
+// kParallelSortMinRows fall back to the serial kernels.
+void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
+                         ThreadPool& pool,
+                         std::vector<SortScratch>& scratches);
 void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
                          std::vector<SortScratch>& scratches);
+void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
+                         ThreadPool& pool,
+                         std::vector<SortScratch>& scratches);
+
+// Dispatches on bank size (16, 32, or 64); `keys` must point to an array
+// of the matching integer type.
+void ParallelSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
+                           ThreadPool& pool,
+                           std::vector<SortScratch>& scratches);
 
 }  // namespace mcsort
 

@@ -15,6 +15,19 @@
 #include "mcsort/common/zipf.h"
 #include "mcsort/cost/calibration.h"
 
+// Whether this binary runs under TSan/ASan (GCC and Clang spellings):
+// timing-based assertions are skipped there.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define MCSORT_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define MCSORT_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef MCSORT_TEST_UNDER_SANITIZER
+#define MCSORT_TEST_UNDER_SANITIZER 0
+#endif
+
 namespace mcsort {
 namespace {
 
@@ -182,9 +195,12 @@ TEST(CalibrationSmokeTest, ProducesPhysicalConstants) {
     EXPECT_GT(bp.out_of_cache_merge, 0) << bank;
   }
   // The 64-bit bank moves half the lanes per instruction; its per-code
-  // cost must exceed the 32-bit bank's.
+  // cost must exceed the 32-bit bank's. Sanitizer instrumentation skews
+  // relative kernel timings, so only assert this on plain builds.
+#if !MCSORT_TEST_UNDER_SANITIZER
   EXPECT_GT(params.bank64.sort_network + params.bank64.in_cache_merge,
             params.bank32.sort_network + params.bank32.in_cache_merge);
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Tests for the morsel-driven parallel executor: dynamic scheduling in
+// ThreadPool, the parallel whole-array sorts (all banks), chunk-parallel
+// gather and group scan, and end-to-end determinism of the parallel
+// MultiColumnSorter against the serial one.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mcsort/common/bits.h"
+#include "mcsort/common/random.h"
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/engine/multi_column_sorter.h"
+#include "mcsort/massage/plan.h"
+#include "mcsort/scan/group_scan.h"
+#include "mcsort/scan/lookup.h"
+#include "mcsort/sort/simd_sort.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+namespace {
+
+TEST(ParallelForDynamicTest, CoversRangeExactlyOnceAcrossMorselSizes) {
+  ThreadPool pool(4);
+  const uint64_t n = 4096;
+  for (const uint64_t morsel : {uint64_t{1}, uint64_t{3}, uint64_t{64},
+                                uint64_t{1000}, uint64_t{5000}}) {
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    const ThreadPool::DynamicStats stats =
+        pool.ParallelForDynamic(n, morsel, [&](uint64_t begin, uint64_t end,
+                                               int worker) {
+          EXPECT_GE(worker, 0);
+          EXPECT_LT(worker, 4);
+          EXPECT_LT(begin, end);
+          EXPECT_LE(end, n);
+          EXPECT_LE(end - begin, morsel);
+          for (uint64_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "morsel=" << morsel << " i=" << i;
+    }
+    EXPECT_EQ(stats.morsels, (n + morsel - 1) / morsel) << "morsel=" << morsel;
+    EXPECT_GE(stats.workers, 1);
+    EXPECT_LE(stats.workers, 4);
+  }
+}
+
+TEST(ParallelForDynamicTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  const auto stats0 =
+      pool.ParallelForDynamic(0, 16, [&](uint64_t, uint64_t, int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(stats0.morsels, 0u);
+  EXPECT_EQ(stats0.workers, 0);
+
+  std::atomic<uint64_t> covered{0};
+  const auto stats1 =
+      pool.ParallelForDynamic(1, 16, [&](uint64_t begin, uint64_t end, int) {
+        covered += end - begin;
+      });
+  EXPECT_EQ(covered.load(), 1u);
+  EXPECT_EQ(stats1.morsels, 1u);
+  EXPECT_EQ(stats1.workers, 1);
+}
+
+TEST(ParallelForDynamicTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  uint64_t covered = 0;  // no synchronization needed: body runs inline
+  const auto stats =
+      pool.ParallelForDynamic(100, 7, [&](uint64_t begin, uint64_t end, int w) {
+        EXPECT_EQ(w, 0);
+        covered += end - begin;
+      });
+  EXPECT_EQ(covered, 100u);
+  EXPECT_EQ(stats.morsels, 1u);
+  EXPECT_EQ(stats.workers, 1);
+}
+
+TEST(ParallelForDynamicTest, NestedDispatchRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> inner_total{0};
+  const auto stats = pool.ParallelForDynamic(
+      8, 1, [&](uint64_t /*begin*/, uint64_t /*end*/, int outer_worker) {
+        // A nested dispatch from a worker must not re-enter the pool's
+        // fork-join handshake (deadlock); it runs inline under the outer
+        // worker's index.
+        const auto inner = pool.ParallelForDynamic(
+            4, 1, [&](uint64_t ib, uint64_t ie, int inner_worker) {
+              EXPECT_EQ(inner_worker, outer_worker);
+              inner_total += ie - ib;
+            });
+        EXPECT_EQ(inner.morsels, 1u);
+        EXPECT_EQ(inner.workers, 1);
+      });
+  EXPECT_EQ(inner_total.load(), 8u * 4u);
+  EXPECT_EQ(stats.morsels, 8u);
+}
+
+TEST(ThreadPoolTest, SmallRangeRoutesThroughDynamicPath) {
+  // Regression test: n < num_threads used to run the whole range inline on
+  // the caller, serializing even when each item is a large segment. It now
+  // dispatches one-item morsels so all items can run concurrently.
+  ThreadPool pool(8);
+  std::vector<std::atomic<uint32_t>> hits(3);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.ParallelFor(3, [&](uint64_t begin, uint64_t end, int) {
+    EXPECT_EQ(end, begin + 1);  // one-item morsels
+    hits[begin].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(ParallelGatherTest, MatchesSerialAcrossWidths) {
+  Rng rng(101);
+  const size_t n = 2 * kGatherMorselRows + 123;  // big enough to go parallel
+  std::vector<Oid> oids(n);
+  std::iota(oids.begin(), oids.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(oids[i - 1], oids[rng.NextBounded(i)]);
+  }
+  ThreadPool pool(4);
+  for (const int width : {12, 20, 40}) {  // u16 / u32 / u64 physical types
+    EncodedColumn src(width, n);
+    for (size_t i = 0; i < n; ++i) src.Set(i, rng.Next() & LowBitsMask(width));
+    EncodedColumn serial, parallel;
+    const size_t serial_morsels = GatherColumn(src, oids.data(), n, &serial);
+    const size_t parallel_morsels =
+        GatherColumn(src, oids.data(), n, &parallel, &pool);
+    EXPECT_EQ(serial_morsels, 1u);
+    EXPECT_GE(parallel_morsels, 2u);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(serial.Get(i), parallel.Get(i)) << "width=" << width
+                                                << " i=" << i;
+    }
+  }
+}
+
+// Builds a segmentation with `parts` random cut points over [0, n],
+// including some duplicated bounds (empty parent segments), and fills
+// `keys` with low-cardinality values sorted within each parent.
+Segments RandomSortedParents(EncodedColumn* keys, size_t n, size_t parts,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Segments parents;
+  parents.bounds.push_back(0);
+  for (size_t i = 0; i < parts; ++i) {
+    parents.bounds.push_back(static_cast<uint32_t>(rng.NextBounded(n + 1)));
+  }
+  parents.bounds.push_back(static_cast<uint32_t>(n));
+  std::sort(parents.bounds.begin(), parents.bounds.end());
+  // Duplicate a few bounds to create empty parents.
+  parents.bounds.insert(parents.bounds.begin() + 1, parents.bounds[1]);
+  parents.bounds.push_back(static_cast<uint32_t>(n));
+
+  std::vector<uint32_t> values(n);
+  for (size_t s = 0; s < parents.count(); ++s) {
+    const uint32_t lo = parents.begin(s), hi = parents.end(s);
+    for (uint32_t i = lo; i < hi; ++i) {
+      values[i] = static_cast<uint32_t>(rng.NextBounded(64));
+    }
+    std::sort(values.begin() + lo, values.begin() + hi);
+  }
+  for (size_t i = 0; i < n; ++i) keys->Set(i, values[i]);
+  return parents;
+}
+
+TEST(ParallelGroupScanTest, MatchesSerialOnRandomSegmentedInput) {
+  const size_t n = 2 * kGroupScanChunkRows + 777;
+  ThreadPool pool(4);
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    EncodedColumn keys(20, n);
+    const Segments parents = RandomSortedParents(&keys, n, 9, seed);
+    Segments serial, parallel;
+    const size_t serial_chunks = FindGroups(keys, parents, &serial);
+    const size_t parallel_chunks = FindGroups(keys, parents, &parallel, &pool);
+    EXPECT_EQ(serial_chunks, 1u);
+    EXPECT_GE(parallel_chunks, 2u);
+    ASSERT_EQ(serial.bounds, parallel.bounds) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelGroupScanTest, MatchesSerialOnWholeRange) {
+  const size_t n = 2 * kGroupScanChunkRows + 5;
+  EncodedColumn keys(16, n);
+  Rng rng(7);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextBounded(1000));
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < n; ++i) keys.Set(i, values[i]);
+  ThreadPool pool(3);
+  Segments serial, parallel;
+  FindGroups(keys, Segments::Whole(n), &serial);
+  FindGroups(keys, Segments::Whole(n), &parallel, &pool);
+  ASSERT_EQ(serial.bounds, parallel.bounds);
+}
+
+template <typename K>
+void CheckParallelSortBank(int bank, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<K> master(n);
+  for (auto& k : master) k = static_cast<K>(rng.Next());
+  std::vector<K> keys = master;
+  std::vector<uint32_t> oids(n);
+  std::iota(oids.begin(), oids.end(), 0);
+
+  ThreadPool pool(4);
+  std::vector<SortScratch> scratches(static_cast<size_t>(pool.num_threads()));
+  ParallelSortPairsBank(bank, keys.data(), oids.data(), n, pool, scratches);
+
+  std::vector<K> expected = master;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(keys, expected) << "bank=" << bank << " n=" << n;
+  // oids must be a permutation carrying the original key of each row.
+  std::vector<uint32_t> sorted_oids = oids;
+  std::sort(sorted_oids.begin(), sorted_oids.end());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sorted_oids[i], static_cast<uint32_t>(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], master[oids[i]]) << "bank=" << bank << " i=" << i;
+  }
+}
+
+TEST(ParallelSortPairsTest, AllBanksMatchStdSort) {
+  const size_t n = 3 * kParallelSortMinRows + 17;  // engages the split path
+  CheckParallelSortBank<uint16_t>(16, n, 21);
+  CheckParallelSortBank<uint32_t>(32, n, 22);
+  CheckParallelSortBank<uint64_t>(64, n, 23);
+}
+
+TEST(ParallelSortPairsTest, SmallInputsFallBackToSerial) {
+  CheckParallelSortBank<uint16_t>(16, 100, 31);
+  CheckParallelSortBank<uint32_t>(32, 100, 32);
+  CheckParallelSortBank<uint64_t>(64, 100, 33);
+}
+
+// End-to-end: the parallel sorter must produce the exact same grouping and
+// the exact same sorted key sequence (per input column) as the serial one.
+// Oids may differ within ties — the sort is not stable — so the comparison
+// gathers each input column through both permutations.
+TEST(MultiColumnSorterParallelTest, MatchesSerialAllBanks) {
+  const size_t n = size_t{1} << 15;
+  Rng rng(55);
+  EncodedColumn a(12, n), b(20, n), c(40, n);
+  for (size_t i = 0; i < n; ++i) {
+    a.Set(i, rng.NextBounded(40));            // few distinct: big groups
+    b.Set(i, rng.NextBounded(1000));          // mid-size groups
+    c.Set(i, rng.Next() & LowBitsMask(40));   // mostly unique: tiny groups
+  }
+  const std::vector<MassageInput> inputs = {{&a, SortOrder::kAscending},
+                                            {&b, SortOrder::kDescending},
+                                            {&c, SortOrder::kAscending}};
+  // Minimal banks for widths 12/20/40: one round each on banks 16/32/64.
+  const MassagePlan plan = MassagePlan::WithMinimalBanks({12, 20, 40});
+
+  MultiColumnSorter serial_sorter(nullptr);
+  const MultiColumnSortResult serial = serial_sorter.Sort(inputs, plan);
+
+  ThreadPool pool(4);
+  MultiColumnSorter parallel_sorter(&pool);
+  const MultiColumnSortResult parallel = parallel_sorter.Sort(inputs, plan);
+
+  ASSERT_EQ(serial.groups.bounds, parallel.groups.bounds);
+  ASSERT_EQ(serial.oids.size(), n);
+  ASSERT_EQ(parallel.oids.size(), n);
+  for (const EncodedColumn* col : {&a, &b, &c}) {
+    for (size_t r = 0; r < n; ++r) {
+      ASSERT_EQ(col->Get(serial.oids[r]), col->Get(parallel.oids[r]))
+          << "row " << r;
+    }
+  }
+  // The whole-array round 0 (32768 rows, bank 16) must have used the
+  // cooperative parallel sorter; later rounds dispatch morsels.
+  ASSERT_EQ(parallel.rounds.size(), 3u);
+  EXPECT_GE(parallel.rounds[0].cooperative_sorts, 1u);
+  size_t morsels = 0;
+  for (const RoundProfile& round : parallel.rounds) {
+    morsels += round.sort_morsels;
+  }
+  EXPECT_GE(morsels, 1u);
+  for (const RoundProfile& round : serial.rounds) {
+    EXPECT_EQ(round.cooperative_sorts, 0u);
+    EXPECT_EQ(round.sort_morsels, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mcsort
