@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/env.h"
 #include "mcsort/common/random.h"
 #include "mcsort/common/timer.h"
 #include "mcsort/cost/calibration.h"
@@ -33,12 +34,7 @@
 namespace mcsort {
 namespace bench {
 
-inline uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  const long long v = std::atoll(env);
-  return v > 0 ? static_cast<uint64_t>(v) : fallback;
-}
+using mcsort::EnvU64;  // shared with the service layer (common/env.h)
 
 inline uint64_t EnvRows() { return EnvU64("MCSORT_N", uint64_t{1} << 21); }
 inline int EnvReps() { return static_cast<int>(EnvU64("MCSORT_REPS", 3)); }

@@ -7,9 +7,11 @@
 // effectiveness is insensitive to rho except at the most stringent value;
 // rho = 0.1% is a good default even for the W > 87 queries.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "mcsort/common/env.h"
 #include "mcsort/plan/roga.h"
 
 int main() {
@@ -45,9 +47,17 @@ int main() {
     std::printf("%-8s %12s %12s %14s %-30s\n", "rho", "search(ms)",
                 "plans", "est mcs(ms)", "chosen plan");
 
-    const double rhos[] = {0.0001, 0.001, 0.01, 0.1, 0.0};
-    const char* labels[] = {"0.01%", "0.1%", "1%", "10%", "N/S"};
-    for (int i = 0; i < 5; ++i) {
+    // Default sweep, or a single externally chosen value: MCSORT_RHO is
+    // the same knob the query service reads (ServiceOptions::FromEnv), so
+    // a deployment can check its configured rho against this figure.
+    std::vector<double> rhos = {0.0001, 0.001, 0.01, 0.1, 0.0};
+    std::vector<std::string> labels = {"0.01%", "0.1%", "1%", "10%", "N/S"};
+    const double env_rho = RhoFromEnv(-1.0);
+    if (env_rho >= 0) {
+      rhos = {env_rho};
+      labels = {"env"};
+    }
+    for (size_t i = 0; i < rhos.size(); ++i) {
       SearchOptions options;
       options.rho = rhos[i];
       options.min_budget_seconds = 0;  // expose the raw rho behavior
@@ -56,7 +66,7 @@ int main() {
       // GROUP BY queries, which is exactly what rho exists to prevent).
       options.permute_columns = false;
       const SearchResult result = RogaSearch(model, stats, options);
-      std::printf("%-8s %12.3f %12zu %14s %-30s%s\n", labels[i],
+      std::printf("%-8s %12.3f %12zu %14s %-30s%s\n", labels[i].c_str(),
                   result.search_seconds * 1e3, result.plans_costed,
                   bench::Ms(result.estimated_cycles / (params.ghz * 1e9))
                       .c_str(),

@@ -13,13 +13,16 @@ cd "$(dirname "$0")/.."
 prefix="${1:-build}"
 
 # Tests that drive the parallel executor (plus the serial equivalents they
-# compare against).
+# compare against) and the concurrent query-service layer (shared plan
+# cache, admission control, multi-session stress).
 tests=(
   parallel_executor_test
   common_test
   simd_sort_test
   merge_internal_test
   engine_test
+  plan_cache_test
+  service_test
 )
 
 run_flavor() {

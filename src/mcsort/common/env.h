@@ -1,0 +1,38 @@
+// Environment-variable knob parsing shared by the service layer and the
+// benchmark harness, so every binary reads the same spellings (e.g.
+// MCSORT_RHO, MCSORT_THREADS) identically.
+#ifndef MCSORT_COMMON_ENV_H_
+#define MCSORT_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace mcsort {
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  return (end != env && v > 0) ? static_cast<uint64_t>(v) : fallback;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return end != env ? v : fallback;
+}
+
+// The ROGA time threshold: MCSORT_RHO overrides `fallback` (Appendix C's
+// default 0.1%). Accepts a plain double; <= 0 disables the stopwatch
+// ("N/S"). Shared by the query-service config and bench/fig12_rho so both
+// sweep the same knob.
+inline double RhoFromEnv(double fallback = 0.001) {
+  return EnvDouble("MCSORT_RHO", fallback);
+}
+
+}  // namespace mcsort
+
+#endif  // MCSORT_COMMON_ENV_H_

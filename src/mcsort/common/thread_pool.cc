@@ -52,6 +52,7 @@ void ThreadPool::ParallelFor(
     ParallelForDynamic(n, 1, body);
     return;
   }
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
@@ -78,6 +79,7 @@ ThreadPool::DynamicStats ThreadPool::ParallelForDynamic(
     stats.workers = 1;
     return stats;
   }
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;

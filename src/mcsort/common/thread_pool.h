@@ -19,6 +19,11 @@
 // started), so single-threaded benchmarks measure no synchronization
 // overhead. Nested calls from inside a worker run inline on that worker
 // (reentrancy guard), so library code can parallelize unconditionally.
+//
+// Concurrent dispatch from multiple *external* threads (the query
+// service's sessions) is safe: a dispatch mutex serializes the fork-join
+// rounds, so sessions interleave their parallel regions one at a time
+// while their serial portions overlap freely.
 #ifndef MCSORT_COMMON_THREAD_POOL_H_
 #define MCSORT_COMMON_THREAD_POOL_H_
 
@@ -77,6 +82,11 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
+  // Serializes whole dispatch rounds issued by concurrent external
+  // callers; held across the fork and the join so round state (body_, n_,
+  // generation_) belongs to exactly one caller at a time. Workers never
+  // take it, and nested calls run inline before reaching it.
+  std::mutex dispatch_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

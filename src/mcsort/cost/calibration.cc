@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -305,22 +306,39 @@ bool LoadParams(const char* path, CostParams* params) {
   return fields >= 7;
 }
 
+namespace {
+
+std::once_flag calibrated_params_once;
+CostParams* calibrated_params = nullptr;
+
+}  // namespace
+
 const CostParams& CalibratedParams() {
-  static const CostParams kParams = [] {
+  std::call_once(calibrated_params_once, [] {
     const char* env = std::getenv("MCSORT_CALIBRATION_FILE");
+    if (env == nullptr) env = std::getenv("MCSORT_CALIBRATION");
     const char* path = env != nullptr ? env : "mcsort_calibration.txt";
     CostParams params = CostParams::Default();
     if (LoadParams(path, &params)) {
       std::fprintf(stderr, "[mcsort] loaded calibration from %s\n", path);
-      return params;
+    } else {
+      std::fprintf(stderr,
+                   "[mcsort] calibrating cost model (cached to %s)...\n",
+                   path);
+      params = Calibrate();
+      SaveParams(params, path);
     }
-    std::fprintf(stderr,
-                 "[mcsort] calibrating cost model (cached to %s)...\n", path);
-    params = Calibrate();
-    SaveParams(params, path);
-    return params;
-  }();
-  return kParams;
+    calibrated_params = new CostParams(params);  // leaked intentionally
+  });
+  return *calibrated_params;
+}
+
+const CostModel& SharedCostModel() {
+  static std::once_flag once;
+  static const CostModel* model = nullptr;
+  std::call_once(once,
+                 [] { model = new CostModel(CalibratedParams()); });
+  return *model;
 }
 
 }  // namespace mcsort

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "mcsort/cost/cost_model.h"
 #include "mcsort/cost/params.h"
 
 namespace mcsort {
@@ -47,11 +48,18 @@ struct CalibrationOptions {
 CostParams Calibrate(const CalibrationOptions& options = {});
 
 // Returns lazily calibrated process-wide parameters. On first call, loads
-// cached constants from $MCSORT_CALIBRATION_FILE (default
-// "mcsort_calibration.txt" in the working directory) if present;
-// otherwise calibrates with default options and writes the cache, so a
-// suite of benchmark binaries calibrates only once per machine.
+// cached constants from $MCSORT_CALIBRATION_FILE (alias:
+// $MCSORT_CALIBRATION; default "mcsort_calibration.txt" in the working
+// directory) if present; otherwise calibrates with default options and
+// writes the cache, so a suite of benchmark binaries calibrates only once
+// per machine. Thread-safe: the load/calibrate runs exactly once behind
+// std::call_once; concurrent first callers block until it completes.
 const CostParams& CalibratedParams();
+
+// Process-wide cost model over CalibratedParams(), constructed exactly
+// once (std::call_once) and shared by all query-service sessions — no
+// session ever re-reads the calibration file or re-runs calibration.
+const CostModel& SharedCostModel();
 
 // Serialization of calibrated constants (simple key=value text).
 bool SaveParams(const CostParams& params, const char* path);

@@ -69,6 +69,24 @@ std::vector<Instruction> RewriteFastMcs(const std::vector<Instruction>& input,
   return PipelineForPlan(found.plan);
 }
 
+std::vector<Instruction> RewriteFastMcsWithPlan(
+    const std::vector<Instruction>& input, const MassagePlan& plan) {
+  if (input.empty() || input.front().op != OpCode::kCodeMassage) {
+    return input;
+  }
+  size_t sort_rounds = 0;
+  for (const Instruction& instruction : input) {
+    if (instruction.op == OpCode::kSimdSort) ++sort_rounds;
+  }
+  if (sort_rounds < 2) return input;
+  if (!plan.IsValid() ||
+      plan.total_width() != input.front().plan.total_width() ||
+      plan == input.front().plan) {
+    return input;
+  }
+  return PipelineForPlan(plan);
+}
+
 std::string PipelineToString(const std::vector<Instruction>& pipeline) {
   std::string out;
   for (const Instruction& instruction : pipeline) {

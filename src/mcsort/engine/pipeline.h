@@ -60,6 +60,13 @@ std::vector<Instruction> RewriteFastMcs(const std::vector<Instruction>& input,
                                         const SortInstanceStats& stats,
                                         const SearchOptions& options = {});
 
+// Fast-MCS rewrite with an externally chosen plan (e.g. a service-layer
+// plan-cache hit) instead of invoking ROGA. Returns the input unchanged if
+// no multi-column sorting chain is found, the plan does not cover the
+// chain's width, or the plan is the original one.
+std::vector<Instruction> RewriteFastMcsWithPlan(
+    const std::vector<Instruction>& input, const MassagePlan& plan);
+
 // MAL-like rendering, e.g.
 //   s := Code-Massage(c0, c1, {R1: 27/[32]})
 //   (oid, groups) := SIMD-Sort(s0, 32, nil)

@@ -74,6 +74,11 @@ SortInstanceStats QueryExecutor::InstanceStats(const QuerySpec& spec,
 }
 
 QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
+  return Execute(spec, nullptr);
+}
+
+QueryResult QueryExecutor::Execute(const QuerySpec& spec,
+                                   const PlanHint* hint) {
   QueryResult result;
   result.input_rows = table_.row_count();
   Timer timer;
@@ -137,22 +142,52 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
   for (const EncodedColumn* col : sort_column_ptrs) {
     widths.push_back(col->width());
   }
+  int total_width = 0;
+  for (int w : widths) total_width += w;
   MassagePlan plan = MassagePlan::ColumnAtATime(widths);
   if (options_.use_massage) {
-    timer.Restart();
-    SortInstanceStats stats;
-    stats.n = n;
-    for (const std::string& name : attrs.names) {
-      stats.columns.push_back(&table_.stats(name));
+    // Exact cached-plan reuse: a width-compatible hint skips ROGA (and its
+    // stats lookups) entirely — the plan-cache hit path of the service.
+    bool hint_usable =
+        hint != nullptr && hint->plan != nullptr && hint->plan->IsValid() &&
+        hint->plan->total_width() == total_width &&
+        hint->column_order != nullptr &&
+        hint->column_order->size() == attrs.names.size();
+    if (hint_usable) {
+      std::vector<bool> seen(attrs.names.size(), false);
+      for (int idx : *hint->column_order) {
+        if (idx < 0 || static_cast<size_t>(idx) >= seen.size() ||
+            seen[static_cast<size_t>(idx)]) {
+          hint_usable = false;
+          break;
+        }
+        seen[static_cast<size_t>(idx)] = true;
+      }
     }
-    SearchOptions search;
-    search.rho = options_.rho;
-    search.permute_columns = attrs.permute_prefix > 1;
-    search.permute_prefix = attrs.permute_prefix;
-    const SearchResult found = RogaSearch(model_, stats, search);
-    plan = found.plan;
-    order = found.column_order;
-    result.plan_seconds = timer.Seconds();
+    if (hint_usable) {
+      plan = *hint->plan;
+      order = *hint->column_order;
+    } else {
+      timer.Restart();
+      SortInstanceStats stats;
+      stats.n = n;
+      for (const std::string& name : attrs.names) {
+        stats.columns.push_back(&table_.stats(name));
+      }
+      SearchOptions search;
+      search.rho = options_.rho;
+      search.min_budget_seconds = options_.min_budget_seconds;
+      search.permute_columns = attrs.permute_prefix > 1;
+      search.permute_prefix = attrs.permute_prefix;
+      if (hint != nullptr) {
+        search.warm_start = hint->warm_start;
+        search.warm_start_order = hint->warm_start_order;
+      }
+      const SearchResult found = RogaSearch(model_, stats, search);
+      plan = found.plan;
+      order = found.column_order;
+      result.plan_seconds = timer.Seconds();
+    }
   }
   result.plan = plan;
   result.column_order = order;
@@ -278,6 +313,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
       for (const ColumnStats& ks : key_stats) stats.columns.push_back(&ks);
       SearchOptions search;
       search.rho = options_.rho;
+      search.min_budget_seconds = options_.min_budget_seconds;
       order_plan = RogaSearch(model_, stats, search).plan;
       result.plan_seconds += timer.Seconds();
     }

@@ -107,9 +107,30 @@ struct ExecutorOptions {
   bool use_massage = true;
   // ROGA time threshold (Appendix C); <= 0 disables the stopwatch.
   double rho = 0.001;
+  // ROGA budget floor in seconds (SearchOptions::min_budget_seconds);
+  // keeps small-instance searches meaningful. Exposed so the service
+  // config and the rho benches sweep the same knobs.
+  double min_budget_seconds = 200e-6;
   ThreadPool* pool = nullptr;
   // Cost-model parameters; pass calibrated values for best plans.
   CostParams params = CostParams::Default();
+};
+
+// Externally supplied planning context for one execution (the service
+// layer's plan cache speaks this). All pointers are borrowed and must
+// outlive the Execute call.
+struct PlanHint {
+  // Exact reuse: skip ROGA for the main sort and run this plan under this
+  // column order. Ignored (falls back to search) unless the plan is valid
+  // for the instance's widths and the order is a permutation of the sort
+  // attributes.
+  const MassagePlan* plan = nullptr;
+  const std::vector<int>* column_order = nullptr;
+  // Warm start: still search, but seed P* with this plan (see
+  // SearchOptions::warm_start). Used when a cached plan went stale from
+  // statistics drift but is likely still near-optimal.
+  const MassagePlan* warm_start = nullptr;
+  const std::vector<int>* warm_start_order = nullptr;
 };
 
 class QueryExecutor {
@@ -117,13 +138,20 @@ class QueryExecutor {
   QueryExecutor(const Table& table, const ExecutorOptions& options);
 
   QueryResult Execute(const QuerySpec& spec);
+  // Execute with external planning context (nullptr behaves like above).
+  // Only the main sort consults the hint; the (small, sampled-stats)
+  // result-ordering sort always plans locally.
+  QueryResult Execute(const QuerySpec& spec, const PlanHint* hint);
 
   // The sort-attribute statistics instance a query induces (exposed for
   // benchmarks that explore the plan space directly).
   SortInstanceStats InstanceStats(const QuerySpec& spec,
                                   uint64_t row_count) const;
 
- private:
+  // The sort attributes a spec resolves to — which columns drive the
+  // multi-column sort, their directions, and how many leading columns are
+  // order-free. Public so the service layer derives plan-cache signatures
+  // from exactly the executor's view of the spec.
   struct SortAttrs {
     std::vector<std::string> names;
     std::vector<SortOrder> orders;
@@ -131,6 +159,7 @@ class QueryExecutor {
   };
   SortAttrs ResolveSortAttrs(const QuerySpec& spec) const;
 
+ private:
   const Table& table_;
   ExecutorOptions options_;
   CostModel model_;

@@ -45,6 +45,14 @@ struct SearchOptions {
   int permute_prefix = -1;
   // Safety cap on the round count explored (on top of Lemma 2).
   int max_rounds_cap = 12;
+  // Warm start (plan-cache reuse): when non-null and width-compatible with
+  // the instance, this plan (under `warm_start_order`, identity when null)
+  // is costed and seeds P* alongside P0 before the search. A good warm
+  // start shrinks the rho budget immediately, so re-planning after table
+  // statistics drift costs a fraction of a cold search. Borrowed pointers;
+  // must outlive the call.
+  const MassagePlan* warm_start = nullptr;
+  const std::vector<int>* warm_start_order = nullptr;
 };
 
 struct SearchResult {

@@ -1,0 +1,91 @@
+#include "mcsort/service/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mcsort/common/logging.h"
+#include "mcsort/common/timer.h"
+
+namespace mcsort {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  MCSORT_CHECK(options_.max_inflight >= 1);
+}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = std::exchange(other.controller_, nullptr);
+    bytes_ = other.bytes_;
+    wait_seconds_ = other.wait_seconds_;
+  }
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(bytes_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::Ticket AdmissionController::Admit(
+    size_t estimated_bytes) {
+  Timer timer;
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t my_turn = next_ticket_++;
+  ++queue_depth_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_depth_);
+  cv_.wait(lock, [&] {
+    // FIFO: strictly admit in arrival order, once a slot and (soft)
+    // budget are free. A query bigger than the whole budget is admitted
+    // when it is alone, so it cannot starve.
+    if (my_turn != serving_ticket_) return false;
+    if (inflight_ >= options_.max_inflight) return false;
+    if (options_.memory_budget_bytes > 0 && inflight_ > 0 &&
+        inflight_bytes_ + estimated_bytes > options_.memory_budget_bytes) {
+      return false;
+    }
+    return true;
+  });
+  ++serving_ticket_;
+  --queue_depth_;
+  ++inflight_;
+  inflight_bytes_ += estimated_bytes;
+  peak_inflight_ = std::max(peak_inflight_, inflight_);
+  ++admitted_total_;
+  lock.unlock();
+  // Wake the next-in-line waiter (it may also be runnable now).
+  cv_.notify_all();
+
+  Ticket ticket;
+  ticket.controller_ = this;
+  ticket.bytes_ = estimated_bytes;
+  ticket.wait_seconds_ = timer.Seconds();
+  return ticket;
+}
+
+void AdmissionController::Release(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    inflight_bytes_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.inflight = inflight_;
+  stats.inflight_bytes = inflight_bytes_;
+  stats.queue_depth = queue_depth_;
+  stats.peak_inflight = peak_inflight_;
+  stats.peak_queue_depth = peak_queue_depth_;
+  stats.admitted_total = admitted_total_;
+  return stats;
+}
+
+}  // namespace mcsort

@@ -1,0 +1,86 @@
+// AdmissionController — bounds the work the service lets in flight at
+// once: a hard cap on concurrent queries plus a soft budget on the scratch
+// memory they are predicted to allocate (sort keys, gathered columns, oid
+// arrays). Sessions beyond the bound queue FIFO on a condition variable;
+// nothing is rejected, only delayed — the morsel-driven pool keeps the
+// machine saturated with the admitted set.
+//
+// The memory budget is *soft*: a query whose estimate alone exceeds the
+// whole budget is admitted once nothing else is in flight (otherwise it
+// could never run), which bounds overshoot to one oversized query.
+#ifndef MCSORT_SERVICE_ADMISSION_H_
+#define MCSORT_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace mcsort {
+
+struct AdmissionOptions {
+  // Maximum queries executing concurrently (>= 1).
+  int max_inflight = 4;
+  // Soft scratch-memory budget across in-flight queries; 0 = unlimited.
+  size_t memory_budget_bytes = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // RAII admission ticket; releases the slot and budget on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket() { Release(); }
+    void Release();
+    bool admitted() const { return controller_ != nullptr; }
+    // Seconds spent queued before admission.
+    double wait_seconds() const { return wait_seconds_; }
+
+   private:
+    friend class AdmissionController;
+    AdmissionController* controller_ = nullptr;
+    size_t bytes_ = 0;
+    double wait_seconds_ = 0;
+  };
+
+  // Blocks until a slot (and budget) frees up, FIFO.
+  Ticket Admit(size_t estimated_bytes);
+
+  struct Stats {
+    int inflight = 0;            // currently admitted
+    size_t inflight_bytes = 0;   // their summed estimates
+    int queue_depth = 0;         // currently waiting
+    int peak_inflight = 0;
+    int peak_queue_depth = 0;
+    uint64_t admitted_total = 0;
+  };
+  Stats GetStats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void Release(size_t bytes);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;    // FIFO order: issued on arrival
+  uint64_t serving_ticket_ = 0; // lowest not-yet-admitted arrival
+  int inflight_ = 0;
+  size_t inflight_bytes_ = 0;
+  int queue_depth_ = 0;
+  int peak_inflight_ = 0;
+  int peak_queue_depth_ = 0;
+  uint64_t admitted_total_ = 0;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SERVICE_ADMISSION_H_

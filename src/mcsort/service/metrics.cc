@@ -1,0 +1,99 @@
+#include "mcsort/service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace mcsort {
+
+int Histogram::BucketOf(double value) {
+  const double nanos = value * 1e9;
+  if (!(nanos > 1.0)) return 0;  // also catches NaN and negatives
+  const int bucket =
+      static_cast<int>(std::floor(std::log2(nanos) * kBucketsPerOctave));
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketMid(int bucket) {
+  // Geometric midpoint of [2^(b/4), 2^((b+1)/4)) nanoseconds, in seconds.
+  const double exponent =
+      (static_cast<double>(bucket) + 0.5) / kBucketsPerOctave;
+  return std::exp2(exponent) * 1e-9;
+}
+
+void Histogram::Record(double value) {
+  if (value < 0 || std::isnan(value)) return;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t nanos = static_cast<uint64_t>(value * 1e9);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double Histogram::max() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based), then walk the buckets.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMid(b);
+  }
+  return max();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%s count=%llu p50=%.6f p99=%.6f max=%.6f sum=%.6f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram->count()),
+                  histogram->Percentile(50), histogram->Percentile(99),
+                  histogram->max(), histogram->sum());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mcsort

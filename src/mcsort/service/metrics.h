@@ -1,0 +1,82 @@
+// MetricsRegistry — named counters and latency histograms for the query
+// service, cheap enough to update on every query from every session
+// (atomics only on the hot path; registration takes a lock once per name).
+//
+// Histograms are geometric (4 buckets per octave over nanoseconds), so
+// p50/p99 come back within ~19% relative error across twelve decades —
+// plenty for "did the plan cache move p99" questions. The text dump is the
+// scrape hook used by benches and tests.
+#ifndef MCSORT_SERVICE_METRICS_H_
+#define MCSORT_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mcsort {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Records double samples >= 0 (typically seconds). Fixed bucket layout:
+// bucket i covers [2^(i/4), 2^((i+1)/4)) nanoseconds; i.e. four buckets
+// per power of two, 192 buckets spanning 1 ns .. ~2.8e5 s.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kNumBuckets = 192;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double max() const;
+  // Percentile in the recorded unit (p in [0, 100]); the geometric
+  // midpoint of the bucket holding the target rank. 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  static int BucketOf(double value);
+  static double BucketMid(int bucket);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the counter/histogram registered under `name`, creating it on
+  // first use. Returned pointers are stable for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Text dump, one metric per line, names sorted:
+  //   <name> <value>
+  //   <name> count=<n> p50=<s> p99=<s> max=<s> sum=<s>
+  std::string Dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SERVICE_METRICS_H_

@@ -1,0 +1,169 @@
+#include "mcsort/service/query_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/env.h"
+#include "mcsort/common/timer.h"
+#include "mcsort/cost/calibration.h"
+#include "mcsort/service/signature.h"
+
+namespace mcsort {
+
+ServiceOptions ServiceOptions::FromEnv() {
+  ServiceOptions options;
+  options.rho = RhoFromEnv(options.rho);
+  options.threads =
+      static_cast<int>(EnvU64("MCSORT_THREADS",
+                              static_cast<uint64_t>(options.threads)));
+  return options;
+}
+
+QuerySession::QuerySession(QueryService* service, const Table& table,
+                           uint64_t id, const ExecutorOptions& options)
+    : service_(service), table_(&table), executor_(table, options), id_(id) {}
+
+QueryResult QuerySession::Execute(const QuerySpec& spec) {
+  return service_->ExecuteOn(this, spec);
+}
+
+size_t EstimateScratchBytes(const Table& table,
+                            const QueryExecutor::SortAttrs& attrs) {
+  const size_t n = table.row_count();
+  // Two oid arrays (the permutation plus sort scratch) ...
+  size_t per_row = 2 * sizeof(Oid);
+  for (const std::string& name : attrs.names) {
+    // ... plus, per sort attribute, the gathered column and its round-key
+    // storage (massage output is at most one bank per attribute here; the
+    // estimate is soft by design).
+    per_row += 2 * static_cast<size_t>(SizeOfWidth(table.column(name).width()));
+  }
+  return n * per_row;
+}
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options),
+      params_(options.use_calibration ? SharedCostModel().params()
+                                      : options.params),
+      pool_(std::make_unique<ThreadPool>(std::max(1, options.threads))),
+      plan_cache_(options.plan_cache),
+      admission_(options.admission) {}
+
+std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
+  ExecutorOptions exec;
+  exec.use_massage = options_.use_massage;
+  exec.rho = options_.rho;
+  exec.min_budget_seconds = options_.min_budget_seconds;
+  exec.pool = pool_.get();
+  exec.params = params_;
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.counter("service.sessions_opened")->Increment();
+  return std::unique_ptr<QuerySession>(
+      new QuerySession(this, table, id, exec));
+}
+
+QueryResult QueryService::ExecuteOn(QuerySession* session,
+                                    const QuerySpec& spec) {
+  metrics_.counter("service.queries_submitted")->Increment();
+  const Table& table = session->table();
+  const QueryExecutor::SortAttrs attrs =
+      session->executor_.ResolveSortAttrs(spec);
+
+  // Admission: bounded in-flight queries + soft scratch-memory budget.
+  AdmissionController::Ticket ticket =
+      admission_.Admit(EstimateScratchBytes(table, attrs));
+  metrics_.histogram("admission.wait_seconds")->Record(ticket.wait_seconds());
+
+  Timer timer;
+  QueryResult result;
+  session->last_plan_cached_ = false;
+  if (options_.use_massage) {
+    const QuerySignature signature =
+        SignatureOf(table, spec, attrs, table.row_count(), options_.rho);
+    std::vector<StatsFingerprint> current = FingerprintsOf(table, attrs);
+    CachedPlan cached;
+    const PlanCache::Outcome outcome =
+        plan_cache_.Lookup(signature, current, &cached);
+    PlanHint hint;
+    if (outcome == PlanCache::Outcome::kHit) {
+      hint.plan = &cached.plan;
+      hint.column_order = &cached.column_order;
+      session->last_plan_cached_ = true;
+    } else if (outcome == PlanCache::Outcome::kStaleHit) {
+      // Statistics drifted past the threshold: re-search, but seed P*
+      // with the stale plan so the rho budget is anchored immediately.
+      hint.warm_start = &cached.plan;
+      hint.warm_start_order = &cached.column_order;
+    }
+    result = session->executor_.Execute(spec, &hint);
+    // Memoize fresh searches (the zero-row early return never plans).
+    if (outcome != PlanCache::Outcome::kHit && result.filtered_rows > 0) {
+      CachedPlan fresh;
+      fresh.plan = result.plan;
+      fresh.column_order = result.column_order;
+      fresh.fingerprints = std::move(current);
+      plan_cache_.Insert(signature, std::move(fresh));
+    }
+  } else {
+    result = session->executor_.Execute(spec);
+  }
+
+  metrics_.counter("service.queries_served")->Increment();
+  metrics_.counter("service.rows_input")->Add(result.input_rows);
+  metrics_.counter("service.rows_sorted")->Add(result.filtered_rows);
+  metrics_.counter("service.groups_produced")->Add(result.num_groups);
+  metrics_.histogram("query.total_seconds")->Record(timer.Seconds());
+  metrics_.histogram("query.scan_seconds")->Record(result.scan_seconds);
+  metrics_.histogram("query.materialize_seconds")
+      ->Record(result.materialize_seconds);
+  metrics_.histogram("query.plan_seconds")->Record(result.plan_seconds);
+  metrics_.histogram("query.mcs_seconds")->Record(result.mcs_seconds);
+  metrics_.histogram("query.post_seconds")->Record(result.post_seconds);
+  // Morsel-driven parallelism, surfaced from the sort's RoundProfiles.
+  uint64_t sort_morsels = 0, lookup_morsels = 0, scan_chunks = 0;
+  uint64_t cooperative = 0;
+  for (const RoundProfile& round : result.sort_profile.rounds) {
+    sort_morsels += round.sort_morsels;
+    lookup_morsels += round.lookup_morsels;
+    scan_chunks += round.scan_chunks;
+    cooperative += round.cooperative_sorts;
+  }
+  metrics_.counter("morsels.sort")->Add(sort_morsels);
+  metrics_.counter("morsels.lookup")->Add(lookup_morsels);
+  metrics_.counter("morsels.scan")->Add(scan_chunks);
+  metrics_.counter("morsels.cooperative_sorts")->Add(cooperative);
+  return result;
+}
+
+std::string QueryService::DumpMetrics() {
+  std::string out = metrics_.Dump();
+  char line[160];
+  const PlanCache::Stats cache = plan_cache_.GetStats();
+  std::snprintf(line, sizeof(line),
+                "plan_cache.hits %llu\nplan_cache.misses %llu\n"
+                "plan_cache.stale_hits %llu\nplan_cache.evictions %llu\n"
+                "plan_cache.entries %zu\nplan_cache.hit_rate %.4f\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.stale_hits),
+                static_cast<unsigned long long>(cache.evictions),
+                cache.entries, cache.hit_rate());
+  out += line;
+  const AdmissionController::Stats admission = admission_.GetStats();
+  std::snprintf(line, sizeof(line),
+                "admission.admitted_total %llu\n"
+                "admission.peak_inflight %d\n"
+                "admission.peak_queue_depth %d\n"
+                "admission.queue_depth %d\n",
+                static_cast<unsigned long long>(admission.admitted_total),
+                admission.peak_inflight, admission.peak_queue_depth,
+                admission.queue_depth);
+  out += line;
+  return out;
+}
+
+}  // namespace mcsort

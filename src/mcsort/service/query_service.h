@@ -1,0 +1,128 @@
+// QueryService — the concurrent serving front-end over the one-shot
+// executor. N client sessions submit QuerySpecs; the service amortizes
+// everything that is identical across repeated query instances:
+//
+//   * plan search: a sharded-LRU PlanCache keyed by query signature, with
+//     statistics-drift invalidation and warm-started re-search;
+//   * calibration: one shared CostModel for the whole process
+//     (cost/calibration.h, std::call_once);
+//   * hardware: one morsel-driven ThreadPool shared by all sessions
+//     (dispatch rounds interleave; serial portions overlap);
+//
+// behind an AdmissionController (bounded in-flight queries + soft scratch
+// memory budget) and a MetricsRegistry (queries served, per-phase latency
+// histograms, plan-cache hit rate, admission queue depth, morsel stats).
+//
+// Threading contract: QueryService and everything it owns are
+// thread-safe; a QuerySession is a single-client handle — open one per
+// client thread and do not share it.
+#ifndef MCSORT_SERVICE_QUERY_SERVICE_H_
+#define MCSORT_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mcsort/common/thread_pool.h"
+#include "mcsort/cost/params.h"
+#include "mcsort/engine/query.h"
+#include "mcsort/service/admission.h"
+#include "mcsort/service/metrics.h"
+#include "mcsort/service/plan_cache.h"
+#include "mcsort/storage/table.h"
+
+namespace mcsort {
+
+struct ServiceOptions {
+  // Workers in the shared morsel-driven pool (>= 1).
+  int threads = 1;
+  // Enable code massaging (plan via ROGA + cache); disabled = every query
+  // runs the column-at-a-time baseline and the plan cache idles.
+  bool use_massage = true;
+  // ROGA knobs, shared by every session (SearchOptions::rho /
+  // min_budget_seconds).
+  double rho = 0.001;
+  double min_budget_seconds = 200e-6;
+  PlanCacheOptions plan_cache;
+  AdmissionOptions admission;
+  // Cost model: true = share the process-wide calibrated model
+  // (calibrates/loads the file exactly once); false = use `params` as
+  // given (tests and cold starts).
+  bool use_calibration = false;
+  CostParams params = CostParams::Default();
+
+  // Defaults with environment overrides applied: MCSORT_RHO (the same
+  // knob bench/fig12_rho sweeps) and MCSORT_THREADS.
+  static ServiceOptions FromEnv();
+};
+
+class QueryService;
+
+// One client's handle: owns a QueryExecutor (and thus per-session sort
+// scratch) bound to one table. Not thread-safe; open one per client.
+class QuerySession {
+ public:
+  QueryResult Execute(const QuerySpec& spec);
+
+  uint64_t id() const { return id_; }
+  // Whether the last Execute's main-sort plan came from the cache.
+  bool last_plan_cached() const { return last_plan_cached_; }
+  const Table& table() const { return *table_; }
+
+ private:
+  friend class QueryService;
+  QuerySession(QueryService* service, const Table& table, uint64_t id,
+               const ExecutorOptions& options);
+
+  QueryService* service_;
+  const Table* table_;
+  QueryExecutor executor_;
+  uint64_t id_;
+  bool last_plan_cached_ = false;
+};
+
+// Soft scratch-memory estimate for admitting a query: the sort keys,
+// gathered sort columns, and oid arrays the execution will allocate,
+// bounded by the table's row count (the pre-filter upper bound).
+size_t EstimateScratchBytes(const Table& table,
+                            const QueryExecutor::SortAttrs& attrs);
+
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Opens a session against `table` (borrowed; must outlive the session).
+  // Sessions may be opened and used from concurrent threads.
+  std::unique_ptr<QuerySession> OpenSession(const Table& table);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  AdmissionController& admission() { return admission_; }
+  ThreadPool* pool() { return pool_.get(); }
+  const ServiceOptions& options() const { return options_; }
+  const CostParams& params() const { return params_; }
+
+  // Registry dump plus plan-cache and admission summary lines — the text
+  // hook benches and tests scrape.
+  std::string DumpMetrics();
+
+ private:
+  friend class QuerySession;
+  QueryResult ExecuteOn(QuerySession* session, const QuerySpec& spec);
+
+  ServiceOptions options_;
+  CostParams params_;
+  std::unique_ptr<ThreadPool> pool_;
+  PlanCache plan_cache_;
+  AdmissionController admission_;
+  MetricsRegistry metrics_;
+  std::atomic<uint64_t> next_session_id_{0};
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,107 @@
+#include "mcsort/service/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace mcsort {
+namespace {
+
+// floor(log2(v)) with 0 -> 0; buckets cardinalities so small drift does
+// not change the cache key (the fingerprint handles drift within a
+// bucket).
+int Log2Bucket(uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v) - 1;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+StatsFingerprint FingerprintOf(const ColumnStats& stats) {
+  StatsFingerprint fp;
+  fp.row_count = stats.row_count();
+  fp.distinct_count = stats.distinct_count();
+  fp.min_code = stats.min_code();
+  fp.max_code = stats.max_code();
+  fp.width = stats.width();
+  return fp;
+}
+
+double FingerprintDrift(const StatsFingerprint& cached,
+                        const StatsFingerprint& current) {
+  if (cached.width != current.width) return 1.0;
+  auto relative = [](uint64_t a, uint64_t b) {
+    const double denom = static_cast<double>(std::max<uint64_t>(a, 1));
+    const double diff = a > b ? static_cast<double>(a - b)
+                              : static_cast<double>(b - a);
+    return diff / denom;
+  };
+  double drift = relative(cached.row_count, current.row_count);
+  drift = std::max(drift, relative(cached.distinct_count,
+                                   current.distinct_count));
+  // A shifted code range changes the histogram shape the plan was costed
+  // on; treat it like cardinality drift of the spanned domain.
+  if (cached.min_code != current.min_code ||
+      cached.max_code != current.max_code) {
+    drift = std::max(drift, relative(cached.max_code - cached.min_code + 1,
+                                     current.max_code - current.min_code + 1));
+  }
+  return drift;
+}
+
+QuerySignature SignatureOf(const Table& table, const QuerySpec& spec,
+                           const QueryExecutor::SortAttrs& attrs,
+                           uint64_t row_estimate, double rho) {
+  std::string text;
+  text.reserve(128);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n~%d|pp%d|rho%g", Log2Bucket(row_estimate),
+                attrs.permute_prefix, rho);
+  text += buf;
+  for (size_t c = 0; c < attrs.names.size(); ++c) {
+    const ColumnStats& stats = table.stats(attrs.names[c]);
+    std::snprintf(buf, sizeof(buf), "|%s:w%d%c~d%d", attrs.names[c].c_str(),
+                  stats.width(),
+                  attrs.orders[c] == SortOrder::kAscending ? 'a' : 'd',
+                  Log2Bucket(stats.distinct_count()));
+    text += buf;
+  }
+  for (const FilterSpec& filter : spec.filters) {
+    if (filter.is_between) {
+      std::snprintf(buf, sizeof(buf), "|f:%s[%llu,%llu]",
+                    filter.column.c_str(),
+                    static_cast<unsigned long long>(filter.literal),
+                    static_cast<unsigned long long>(filter.literal2));
+    } else {
+      std::snprintf(buf, sizeof(buf), "|f:%s.%d.%llu", filter.column.c_str(),
+                    static_cast<int>(filter.op),
+                    static_cast<unsigned long long>(filter.literal));
+    }
+    text += buf;
+  }
+  QuerySignature signature;
+  signature.text = std::move(text);
+  signature.hash = Fnv1a64(signature.text);
+  return signature;
+}
+
+std::vector<StatsFingerprint> FingerprintsOf(
+    const Table& table, const QueryExecutor::SortAttrs& attrs) {
+  std::vector<StatsFingerprint> fingerprints;
+  fingerprints.reserve(attrs.names.size());
+  for (const std::string& name : attrs.names) {
+    fingerprints.push_back(FingerprintOf(table.stats(name)));
+  }
+  return fingerprints;
+}
+
+}  // namespace mcsort

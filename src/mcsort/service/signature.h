@@ -1,0 +1,79 @@
+// Query signatures and statistics fingerprints — the plan-cache key.
+//
+// A massage plan's *validity* depends only on the sort attributes' widths,
+// directions, and how many leading columns are order-free (Lemma 1: any
+// valid plan yields the same sorted output). Its *quality* additionally
+// depends on the instance cardinality and per-column value distributions.
+// The signature therefore keys on the exact structural facts plus a
+// log2-bucketed cardinality sketch, while the precise statistics snapshot
+// is stored beside the cached plan as a fingerprint: lookups that land in
+// the same bucket revalidate against the fingerprint and invalidate the
+// entry once the table's statistics have drifted past a threshold.
+#ifndef MCSORT_SERVICE_SIGNATURE_H_
+#define MCSORT_SERVICE_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/engine/query.h"
+#include "mcsort/storage/statistics.h"
+#include "mcsort/storage/table.h"
+
+namespace mcsort {
+
+// Compact snapshot of one sort column's cardinality statistics, captured
+// at plan time and compared at lookup time to detect drift.
+struct StatsFingerprint {
+  uint64_t row_count = 0;
+  uint64_t distinct_count = 0;
+  Code min_code = 0;
+  Code max_code = 0;
+  int width = 0;
+
+  friend bool operator==(const StatsFingerprint&,
+                         const StatsFingerprint&) = default;
+};
+
+StatsFingerprint FingerprintOf(const ColumnStats& stats);
+
+// Relative drift between two fingerprints of the same column: the largest
+// relative change among row count and distinct count (plus 1.0 if the
+// width or code range no longer matches — a plan for different widths is
+// structurally unusable).
+double FingerprintDrift(const StatsFingerprint& cached,
+                        const StatsFingerprint& current);
+
+// The plan-cache key. `text` is the canonical human-readable form (also
+// the exact-match key); `hash` is a 64-bit FNV-1a of it, used for shard
+// selection.
+struct QuerySignature {
+  std::string text;
+  uint64_t hash = 0;
+
+  friend bool operator==(const QuerySignature& a, const QuerySignature& b) {
+    return a.hash == b.hash && a.text == b.text;
+  }
+};
+
+// Builds the signature of a query's main multi-column sort against a
+// table: attribute names/widths/directions, the order-free prefix, the
+// filter predicates (they determine the sorted cardinality, hence plan
+// quality), the rho knob (it bounds the search that produced the plan),
+// and a log2-bucketed sketch of the instance cardinality and per-column
+// distinct counts. Aggregates and result ordering are deliberately
+// excluded — they do not influence the main sort's plan, and excluding
+// them raises the hit rate across query variants.
+QuerySignature SignatureOf(const Table& table, const QuerySpec& spec,
+                           const QueryExecutor::SortAttrs& attrs,
+                           uint64_t row_estimate, double rho);
+
+// Current fingerprints of the sort columns (in attribute order).
+std::vector<StatsFingerprint> FingerprintsOf(
+    const Table& table, const QueryExecutor::SortAttrs& attrs);
+
+uint64_t Fnv1a64(const std::string& text);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_SERVICE_SIGNATURE_H_

@@ -64,6 +64,7 @@ const StringDictionary& Table::dictionary(const std::string& name) const {
 
 const ColumnStats& Table::stats(const std::string& name) const {
   const Entry& entry = Find(name);
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (entry.stats == nullptr) {
     entry.stats = std::make_unique<ColumnStats>(ColumnStats::Build(entry.column));
   }
@@ -72,6 +73,7 @@ const ColumnStats& Table::stats(const std::string& name) const {
 
 const ByteSliceColumn& Table::byteslice(const std::string& name) const {
   const Entry& entry = Find(name);
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (entry.byteslice == nullptr) {
     entry.byteslice =
         std::make_unique<ByteSliceColumn>(ByteSliceColumn::Build(entry.column));

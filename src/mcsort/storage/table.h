@@ -6,6 +6,7 @@
 #define MCSORT_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,8 @@ class Table {
   int64_t domain_base(const std::string& name) const;
 
   // Statistics / ByteSlice layout, built lazily on first use and cached.
+  // Safe to call from concurrent query sessions: the first builder wins
+  // under a table-wide mutex and everyone reads the immutable result.
   const ColumnStats& stats(const std::string& name) const;
   const ByteSliceColumn& byteslice(const std::string& name) const;
 
@@ -66,6 +69,9 @@ class Table {
   size_t row_count_ = 0;
   std::vector<std::string> names_;
   std::unordered_map<std::string, Entry> columns_;
+  // Guards the lazy stats/byteslice construction only; column data is
+  // immutable after loading. Behind a pointer so Table stays movable.
+  mutable std::unique_ptr<std::mutex> lazy_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace mcsort

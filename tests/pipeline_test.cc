@@ -96,6 +96,35 @@ TEST(PipelineTest, FastMcsRewriteStitchesNarrowColumns) {
   }
 }
 
+TEST(PipelineTest, RewriteWithCachedPlanSkipsTheSearch) {
+  // The plan-cache path: a memoized plan is applied directly (no ROGA),
+  // producing the same rewrite and the same results as planning live.
+  Fixture f = MakeFixture({10, 17}, 6000, 12, 1024);
+  const auto original = ColumnAtATimePipeline(f.widths);
+  const MassagePlan cached({{27, 32}});  // Ex1's stitch-all plan
+  const auto rewritten = RewriteFastMcsWithPlan(original, cached);
+  ASSERT_EQ(rewritten.size(), 3u);  // massage + sort + scan
+  EXPECT_EQ(rewritten[0].plan, cached);
+  EXPECT_EQ(rewritten[1].op, OpCode::kSimdSort);
+  EXPECT_EQ(rewritten[1].bank, 32);
+
+  const auto a = ExecutePipeline(original, f.inputs);
+  const auto b = ExecutePipeline(rewritten, f.inputs);
+  EXPECT_EQ(a.groups.bounds, b.groups.bounds);
+  for (size_t r = 0; r < a.oids.size(); ++r) {
+    for (size_t c = 0; c < f.columns.size(); ++c) {
+      ASSERT_EQ(f.columns[c].Get(a.oids[r]), f.columns[c].Get(b.oids[r]));
+    }
+  }
+
+  // Width-incompatible and identity plans leave the pipeline unchanged.
+  const MassagePlan wrong({{40, 64}});
+  EXPECT_EQ(RewriteFastMcsWithPlan(original, wrong).size(), original.size());
+  const MassagePlan identity = MassagePlan::ColumnAtATime(f.widths);
+  EXPECT_EQ(RewriteFastMcsWithPlan(original, identity).size(),
+            original.size());
+}
+
 TEST(PipelineTest, SingleColumnSortingIsLeftIntact) {
   Fixture f = MakeFixture({12}, 2000, 13, 512);
   const CostModel model(CostParams::Default());
