@@ -128,14 +128,17 @@ inline SortInstanceStats StatsFor(const std::vector<const EncodedColumn*>& cols,
   return stats;
 }
 
-// Runs one workload query (min-of-reps) under the given options.
+// Runs one workload query (min-of-reps) under the given options. Benches
+// measure the unconstrained path, so each rep runs under the (never
+// stoppable, zero-overhead) default ExecContext.
 inline QueryResult MeasureQuery(const Table& table, const QuerySpec& spec,
                                 const ExecutorOptions& options, int reps) {
   QueryExecutor executor(table, options);
   QueryResult best;
   double best_seconds = 1e300;
   for (int r = 0; r < reps; ++r) {
-    QueryResult result = executor.Execute(spec);
+    QueryResult result =
+        executor.Execute(spec, ExecContext::Default()).result;
     if (result.total_seconds() < best_seconds) {
       best_seconds = result.total_seconds();
       best = std::move(result);

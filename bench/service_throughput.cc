@@ -48,27 +48,26 @@ Table BenchTable(size_t n, uint64_t seed) {
 std::vector<QuerySpec> WorkloadSpecs() {
   std::vector<QuerySpec> specs;
   for (Code cut : {Code{30000}, Code{60000}, Code{90000}}) {
-    QuerySpec group;
-    group.filters = {{"c", CompareOp::kLess, cut}};
-    group.group_by = {"a", "b"};
-    group.aggregates = {{AggOp::kSum, "m"}, {AggOp::kCount, ""}};
-    specs.push_back(group);
+    specs.push_back(QuerySpecBuilder()
+                        .Filter("c", CompareOp::kLess, cut)
+                        .GroupBy({"a", "b"})
+                        .Sum("m")
+                        .Count()
+                        .Build());
   }
-  QuerySpec order;
-  order.order_by = {{"a", SortOrder::kAscending},
-                    {"b", SortOrder::kDescending},
-                    {"c", SortOrder::kAscending}};
-  specs.push_back(order);
-  QuerySpec window;
-  window.partition_by = {"a", "b"};
-  window.window_order_column = "m";
-  specs.push_back(window);
-  QuerySpec topk;
-  topk.group_by = {"a"};
-  topk.aggregates = {{AggOp::kCount, ""}};
-  topk.result_order = {{"agg:0", SortOrder::kDescending},
-                       {"a", SortOrder::kAscending}};
-  specs.push_back(topk);
+  specs.push_back(QuerySpecBuilder()
+                      .OrderBy("a")
+                      .OrderBy("b", SortOrder::kDescending)
+                      .OrderBy("c")
+                      .Build());
+  specs.push_back(
+      QuerySpecBuilder().PartitionBy({"a", "b"}).WindowOrder("m").Build());
+  specs.push_back(QuerySpecBuilder()
+                      .GroupBy({"a"})
+                      .Count()
+                      .ResultOrder("agg:0", SortOrder::kDescending)
+                      .ResultOrder("a")
+                      .Build());
   return specs;
 }
 
@@ -90,7 +89,8 @@ RunResult Replay(QueryService* service, const Table& table, int sessions,
       for (int rep = 0; rep < reps; ++rep) {
         // Stagger the starting spec per session so distinct shapes overlap.
         for (size_t i = 0; i < specs.size(); ++i) {
-          session->Execute(specs[(i + s) % specs.size()]);
+          session->Execute(specs[(i + s) % specs.size()],
+                           ExecContext::Default());
         }
       }
     });

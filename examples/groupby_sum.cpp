@@ -46,7 +46,8 @@ int main() {
 
   ExecutorOptions options;  // code massaging on, ROGA with rho = 0.1%
   QueryExecutor executor(table, options);
-  const QueryResult result = executor.Execute(spec);
+  const QueryResult result =
+      executor.Execute(spec, ExecContext::Default()).result;
 
   std::printf("filtered %zu of %zu rows into %zu groups\n",
               result.filtered_rows, result.input_rows, result.num_groups);

@@ -24,7 +24,8 @@ int main() {
 
   ExecutorOptions options;  // massaging on
   QueryExecutor executor(ticket, options);
-  const QueryResult result = executor.Execute(q2.spec);
+  const QueryResult result =
+      executor.Execute(q2.spec, ExecContext::Default()).result;
 
   std::printf("%zu rows pass the filter; %zu partitions\n",
               result.filtered_rows, result.num_groups);

@@ -23,6 +23,7 @@ tests=(
   engine_test
   plan_cache_test
   service_test
+  exec_context_test
 )
 
 run_flavor() {

@@ -1,0 +1,133 @@
+#include "mcsort/common/exec_context.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mcsort {
+
+const char* ExecStatus::name() const {
+  switch (code) {
+    case ExecCode::kOk:
+      return "ok";
+    case ExecCode::kCancelled:
+      return "cancelled";
+    case ExecCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ExecCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+ExecStatus ExecStatus::FromCode(ExecCode code) {
+  switch (code) {
+    case ExecCode::kOk:
+      return Ok();
+    case ExecCode::kCancelled:
+      return Cancelled();
+    case ExecCode::kDeadlineExceeded:
+      return DeadlineExceeded();
+    case ExecCode::kResourceExhausted:
+      return ResourceExhausted();
+  }
+  return Ok();
+}
+
+FaultInjector FaultInjector::FromString(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return FaultInjector();
+  const char* at = std::strchr(spec, '@');
+  const size_t name_len = at != nullptr ? static_cast<size_t>(at - spec)
+                                        : std::strlen(spec);
+  uint64_t trigger = 1;
+  if (at != nullptr) {
+    const uint64_t parsed = std::strtoull(at + 1, nullptr, 10);
+    if (parsed > 0) trigger = parsed;
+  }
+  auto matches = [&](const char* name) {
+    return std::strlen(name) == name_len &&
+           std::strncmp(spec, name, name_len) == 0;
+  };
+  if (matches("cancel")) return FaultInjector(Kind::kCancel, trigger);
+  if (matches("deadline")) return FaultInjector(Kind::kDeadline, trigger);
+  if (matches("alloc")) return FaultInjector(Kind::kAlloc, trigger);
+  return FaultInjector();
+}
+
+FaultInjector FaultInjector::FromEnv() {
+  return FromString(std::getenv("MCSORT_FAULT"));
+}
+
+FaultInjector::Kind FaultInjector::Poll() {
+  if (kind_ == Kind::kNone) return Kind::kNone;
+  const uint64_t boundary =
+      boundaries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return boundary == trigger_ ? kind_ : Kind::kNone;
+}
+
+const ExecContext& ExecContext::Default() {
+  static const ExecContext kDefault;
+  return kDefault;
+}
+
+ExecContext& ExecContext::WithDeadlineAfter(double seconds) {
+  return WithDeadline(std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds)));
+}
+
+ExecContext& ExecContext::WithFault(FaultInjector* fault) {
+  fault_ = fault;
+  if (fault_ != nullptr && injected_ == nullptr) {
+    injected_ = std::make_shared<std::atomic<int>>(0);
+  }
+  return *this;
+}
+
+ExecCode ExecContext::StopCheck() const {
+  if (injected_ != nullptr) {
+    const int injected = injected_->load(std::memory_order_relaxed);
+    if (injected != 0) return static_cast<ExecCode>(injected);
+  }
+  if (token_.cancelled()) return ExecCode::kCancelled;
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return ExecCode::kDeadlineExceeded;
+  }
+  return ExecCode::kOk;
+}
+
+ExecStatus ExecContext::CheckRound() const {
+  if (fault_ != nullptr && injected_ != nullptr) {
+    switch (fault_->Poll()) {
+      case FaultInjector::Kind::kNone:
+        break;
+      case FaultInjector::Kind::kCancel:
+        injected_->store(static_cast<int>(ExecCode::kCancelled),
+                         std::memory_order_relaxed);
+        break;
+      case FaultInjector::Kind::kDeadline:
+        injected_->store(static_cast<int>(ExecCode::kDeadlineExceeded),
+                         std::memory_order_relaxed);
+        break;
+      case FaultInjector::Kind::kAlloc:
+        injected_->store(static_cast<int>(ExecCode::kResourceExhausted),
+                         std::memory_order_relaxed);
+        break;
+    }
+  }
+  const ExecCode code = StopCheck();
+  if (code == ExecCode::kOk) return ExecStatus::Ok();
+  if (code == ExecCode::kResourceExhausted) {
+    return ExecStatus::ResourceExhausted("injected allocation failure");
+  }
+  return ExecStatus::FromCode(code);
+}
+
+bool ExecContext::ClearResourceFault() const {
+  if (injected_ == nullptr) return false;
+  int expected = static_cast<int>(ExecCode::kResourceExhausted);
+  return injected_->compare_exchange_strong(expected, 0,
+                                            std::memory_order_relaxed);
+}
+
+}  // namespace mcsort

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 
 namespace mcsort {
@@ -13,6 +14,14 @@ namespace {
 // stays consistent and the pool cannot deadlock on itself.
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 thread_local int tls_worker_index = 0;
+
+// Morsel size used when a stoppable context reroutes a static ParallelFor
+// through the dynamic path: a few chunks per worker bounds the stop
+// latency without giving up much dispatch efficiency.
+uint64_t StopMorsel(uint64_t n, int threads) {
+  const uint64_t chunks = 8 * static_cast<uint64_t>(threads);
+  return std::max<uint64_t>(1, n / chunks);
+}
 
 }  // namespace
 
@@ -38,10 +47,29 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
 
 void ThreadPool::ParallelFor(
-    uint64_t n, const std::function<void(uint64_t, uint64_t, int)>& body) {
+    uint64_t n, const std::function<void(uint64_t, uint64_t, int)>& body,
+    const ExecContext* ctx) {
   if (n == 0) return;
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
   if (num_threads_ == 1 || OnWorkerThread()) {
-    body(0, n, OnWorkerThread() ? tls_worker_index : 0);
+    const int index = OnWorkerThread() ? tls_worker_index : 0;
+    if (!stoppable) {
+      body(0, n, index);
+      return;
+    }
+    // Inline but stoppable: chunk the range so the stop latency stays
+    // bounded even without workers to stop.
+    const uint64_t morsel = StopMorsel(n, num_threads_);
+    for (uint64_t begin = 0; begin < n; begin += morsel) {
+      if (ctx->StopRequested()) return;
+      body(begin, std::min(begin + morsel, n), index);
+    }
+    return;
+  }
+  if (stoppable) {
+    // Static slices can be arbitrarily large; morsels bound how much work
+    // runs after a cancellation or deadline is observed.
+    ParallelForDynamic(n, StopMorsel(n, num_threads_), body, ctx);
     return;
   }
   if (n < static_cast<uint64_t>(num_threads_)) {
@@ -69,13 +97,25 @@ void ThreadPool::ParallelFor(
 
 ThreadPool::DynamicStats ThreadPool::ParallelForDynamic(
     uint64_t n, uint64_t morsel,
-    const std::function<void(uint64_t, uint64_t, int)>& body) {
+    const std::function<void(uint64_t, uint64_t, int)>& body,
+    const ExecContext* ctx) {
   DynamicStats stats;
   if (n == 0) return stats;
   if (morsel == 0) morsel = 1;
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
   if (num_threads_ == 1 || OnWorkerThread()) {
-    body(0, n, OnWorkerThread() ? tls_worker_index : 0);
-    stats.morsels = 1;
+    const int index = OnWorkerThread() ? tls_worker_index : 0;
+    if (!stoppable) {
+      body(0, n, index);
+      stats.morsels = 1;
+      stats.workers = 1;
+      return stats;
+    }
+    for (uint64_t begin = 0; begin < n; begin += morsel) {
+      if (ctx->StopRequested()) break;
+      body(begin, std::min(begin + morsel, n), index);
+      ++stats.morsels;
+    }
     stats.workers = 1;
     return stats;
   }
@@ -86,6 +126,7 @@ ThreadPool::DynamicStats ThreadPool::ParallelForDynamic(
     n_ = n;
     dynamic_ = true;
     morsel_ = morsel;
+    ctx_ = stoppable ? ctx : nullptr;
     next_.store(0, std::memory_order_relaxed);
     morsels_done_.store(0, std::memory_order_relaxed);
     workers_used_.store(0, std::memory_order_relaxed);
@@ -96,6 +137,7 @@ ThreadPool::DynamicStats ThreadPool::ParallelForDynamic(
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   body_ = nullptr;
+  ctx_ = nullptr;
   stats.morsels = morsels_done_.load(std::memory_order_relaxed);
   stats.workers = workers_used_.load(std::memory_order_relaxed);
   return stats;
@@ -110,6 +152,7 @@ void ThreadPool::WorkerLoop(int index) {
     uint64_t n;
     bool dynamic;
     uint64_t morsel;
+    const ExecContext* ctx;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
@@ -121,12 +164,16 @@ void ThreadPool::WorkerLoop(int index) {
       n = n_;
       dynamic = dynamic_;
       morsel = morsel_;
+      ctx = ctx_;
     }
     if (dynamic) {
-      // Morsel mode: claim chunks until the range is drained. Workers that
-      // arrive after the range is exhausted claim nothing and just leave.
+      // Morsel mode: claim chunks until the range is drained (or the
+      // round's context requests a stop — remaining morsels are simply
+      // never claimed). Workers that arrive after the range is exhausted
+      // claim nothing and just leave.
       uint64_t claimed = 0;
       for (;;) {
+        if (ctx != nullptr && ctx->StopRequested()) break;
         const uint64_t begin =
             next_.fetch_add(morsel, std::memory_order_relaxed);
         if (begin >= n) break;

@@ -37,6 +37,8 @@
 
 namespace mcsort {
 
+class ExecContext;
+
 class ThreadPool {
  public:
   // Utilization counters of one dynamic dispatch (surfaced in
@@ -59,19 +61,30 @@ class ThreadPool {
   // to within one element. Ranges with fewer items than workers are routed
   // through the dynamic path (morsel = 1) so small-n/large-item workloads
   // (e.g. two huge merge pairs) still run concurrently.
+  //
+  // A stoppable `ctx` (cancellation / deadline / fault) reroutes through
+  // the dynamic path with latency-bounding morsels: workers stop claiming
+  // chunks once ctx reports a stop, so the dispatch returns within one
+  // chunk's worth of work. Already-claimed chunks finish (the body is
+  // never interrupted mid-range); callers must treat the output as
+  // partial whenever ctx reports a stop afterwards.
   void ParallelFor(
       uint64_t n,
-      const std::function<void(uint64_t, uint64_t, int)>& body);
+      const std::function<void(uint64_t, uint64_t, int)>& body,
+      const ExecContext* ctx = nullptr);
 
   // Morsel-driven dispatch: workers repeatedly claim the next `morsel`
   // indices of [0, n) with an atomic counter and run
   // body(begin, end, worker_index) on each claimed chunk (end - begin <=
   // morsel). Blocks until the range is drained. morsel == 0 is treated as
   // 1. Inline execution (single-threaded pool or nested call) runs the
-  // whole range as one chunk.
+  // whole range as one chunk — unless `ctx` is stoppable, in which case
+  // it loops morsel-sized chunks with a stop check between them, same as
+  // the worker claim loop.
   DynamicStats ParallelForDynamic(
       uint64_t n, uint64_t morsel,
-      const std::function<void(uint64_t, uint64_t, int)>& body);
+      const std::function<void(uint64_t, uint64_t, int)>& body,
+      const ExecContext* ctx = nullptr);
 
  private:
   void WorkerLoop(int index);
@@ -99,6 +112,10 @@ class ThreadPool {
   // Dynamic-mode round state (published under mu_, claimed via next_).
   bool dynamic_ = false;
   uint64_t morsel_ = 1;
+  // Stop context of the current round; non-null only when the dispatching
+  // caller passed a stoppable ExecContext. Workers poll it before each
+  // morsel claim.
+  const ExecContext* ctx_ = nullptr;
   std::atomic<uint64_t> next_{0};
   std::atomic<uint64_t> morsels_done_{0};
   std::atomic<int> workers_used_{0};

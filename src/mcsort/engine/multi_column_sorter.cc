@@ -63,9 +63,11 @@ MultiColumnSorter::MultiColumnSorter(ThreadPool* pool, SortKernel kernel)
 
 void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
                                      const Segments& segments,
-                                     RoundProfile* profile) {
+                                     RoundProfile* profile,
+                                     const ExecContext* ctx) {
   // The massager typed the round column for its bank.
   MCSORT_CHECK(BankOfType(keys->type()) == bank);
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
   size_t num_sorts = 0;
   for (size_t s = 0; s < segments.count(); ++s) {
     if (segments.length(s) > 1) ++num_sorts;
@@ -86,6 +88,7 @@ void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
 
   if (pool_ == nullptr || pool_->num_threads() <= 1) {
     for (size_t s = 0; s < segments.count(); ++s) {
+      if (stoppable && ctx->StopRequested()) return;
       if (segments.length(s) > 1) sort_one(s, scratch_[0]);
     }
     return;
@@ -115,9 +118,10 @@ void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
   }
 
   for (const uint32_t s : huge) {
+    if (stoppable && ctx->StopRequested()) return;
     const uint32_t begin = segments.begin(s);
     ParallelSortPairsBank(bank, RawAt(keys, begin), oids + begin,
-                          segments.length(s), *pool_, scratch_);
+                          segments.length(s), *pool_, scratch_, ctx);
   }
   profile->cooperative_sorts = huge.size();
 
@@ -130,7 +134,8 @@ void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
           for (uint64_t i = begin; i < end; ++i) {
             sort_one(bucket[static_cast<size_t>(i)], scratch);
           }
-        });
+        },
+        ctx);
     profile->sort_morsels += stats.morsels;
     profile->sort_workers = std::max(profile->sort_workers, stats.workers);
   };
@@ -139,7 +144,8 @@ void MultiColumnSorter::SortSegments(int bank, EncodedColumn* keys, Oid* oids,
 }
 
 MultiColumnSortResult MultiColumnSorter::Sort(
-    const std::vector<MassageInput>& inputs, const MassagePlan& plan) {
+    const std::vector<MassageInput>& inputs, const MassagePlan& plan,
+    const ExecContext& ctx) {
   MCSORT_CHECK(!inputs.empty());
   const size_t n = inputs[0].column->size();
   MultiColumnSortResult result;
@@ -150,13 +156,26 @@ MultiColumnSortResult MultiColumnSorter::Sort(
     return result;
   }
 
+  // Round boundary 0: massaging. CheckRound polls the fault injector, so
+  // env-driven faults fire here and between rounds.
+  const bool stoppable = ctx.stoppable();
+  if (stoppable) {
+    result.status = ctx.CheckRound();
+    if (!result.status.ok()) return result;
+  }
+
   Timer timer;
-  std::vector<EncodedColumn> round_keys = ApplyMassage(inputs, plan, pool_);
+  std::vector<EncodedColumn> round_keys =
+      ApplyMassage(inputs, plan, pool_, &ctx);
   result.massage_seconds = timer.Seconds();
 
   Segments segments = Segments::Whole(n);
   EncodedColumn gathered;
   for (size_t j = 0; j < plan.num_rounds(); ++j) {
+    if (stoppable) {
+      result.status = ctx.CheckRound();
+      if (!result.status.ok()) return result;
+    }
     RoundProfile profile;
     EncodedColumn* keys = &round_keys[j];
     if (j > 0) {
@@ -164,21 +183,36 @@ MultiColumnSortResult MultiColumnSorter::Sort(
       timer.Restart();
       profile.lookup_morsels =
           GatherColumn(round_keys[j], result.oids.data(), n, &gathered,
-                       pool_);
+                       pool_, &ctx);
       profile.lookup_seconds = timer.Seconds();
       keys = &gathered;
+      if (stoppable && ctx.StopRequested()) {
+        result.status = ExecStatus::FromCode(ctx.StopCheck());
+        result.rounds.push_back(profile);
+        return result;
+      }
     }
 
     timer.Restart();
     SortSegments(plan.round(j).bank, keys, result.oids.data(), segments,
-                 &profile);
+                 &profile, stoppable ? &ctx : nullptr);
     profile.sort_seconds = timer.Seconds();
+    if (stoppable && ctx.StopRequested()) {
+      result.status = ExecStatus::FromCode(ctx.StopCheck());
+      result.rounds.push_back(profile);
+      return result;
+    }
 
     timer.Restart();
     Segments refined;
-    profile.scan_chunks = FindGroups(*keys, segments, &refined, pool_);
-    segments = std::move(refined);
+    profile.scan_chunks = FindGroups(*keys, segments, &refined, pool_, &ctx);
     profile.scan_seconds = timer.Seconds();
+    if (stoppable && ctx.StopRequested()) {
+      result.status = ExecStatus::FromCode(ctx.StopCheck());
+      result.rounds.push_back(profile);
+      return result;
+    }
+    segments = std::move(refined);
     profile.num_groups = segments.count();
 
     result.rounds.push_back(profile);

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/massage/massage.h"
 #include "mcsort/massage/plan.h"
@@ -43,6 +44,10 @@ struct RoundProfile {
 };
 
 struct MultiColumnSortResult {
+  // Outcome: kOk for a completed sort. On cancellation / deadline expiry /
+  // injected fault the sort unwinds at the next boundary and oids/groups
+  // are partial garbage — only `status` and the timings are meaningful.
+  ExecStatus status;
   // Permutation: row r of the sorted order is input row oids[r].
   std::vector<Oid> oids;
   // Final grouping: rows tied on *all* sort attributes.
@@ -74,8 +79,15 @@ class MultiColumnSorter {
 
   // Sorts under `plan`; plan.total_width() must equal the summed input
   // widths. Inputs are given most-significant first (ORDER BY order).
-  MultiColumnSortResult Sort(const std::vector<MassageInput>& inputs,
-                             const MassagePlan& plan);
+  //
+  // `ctx` carries the execution's cancellation token / deadline / fault
+  // injector: the fault injector is polled at every round boundary, stop
+  // sources at every phase and morsel boundary, and on a stop the sort
+  // unwinds with the typed status in the result (partial output, to be
+  // discarded). The default context adds no overhead.
+  MultiColumnSortResult Sort(
+      const std::vector<MassageInput>& inputs, const MassagePlan& plan,
+      const ExecContext& ctx = ExecContext::Default());
 
   // The baseline: column-at-a-time plan P0.
   MultiColumnSortResult SortColumnAtATime(
@@ -87,9 +99,12 @@ class MultiColumnSorter {
   // (all banks), mid-size ones are claimed dynamically as morsels of
   // segments, and tiny (insertion-sort-sized) ones ride in large morsels
   // to amortize dispatch. Public so the pipeline interpreter shares one
-  // executor with the bulk path.
+  // executor with the bulk path. A stoppable `ctx` stops between segments
+  // / morsels / merge chunks; the caller re-checks ctx and discards the
+  // round on a stop.
   void SortSegments(int bank, EncodedColumn* keys, Oid* oids,
-                    const Segments& segments, RoundProfile* profile);
+                    const Segments& segments, RoundProfile* profile,
+                    const ExecContext* ctx = nullptr);
 
  private:
   ThreadPool* pool_;

@@ -115,9 +115,10 @@ std::string PipelineToString(const std::vector<Instruction>& pipeline) {
   return out;
 }
 
-MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
-                                      const std::vector<MassageInput>& inputs,
-                                      ThreadPool* pool) {
+MultiColumnSortResult ExecutePipeline(
+    const std::vector<Instruction>& pipeline,
+    const std::vector<MassageInput>& inputs, ThreadPool* pool,
+    const ExecContext& ctx) {
   MCSORT_CHECK(!pipeline.empty());
   MCSORT_CHECK(pipeline.front().op == OpCode::kCodeMassage);
   MCSORT_CHECK(!inputs.empty());
@@ -144,10 +145,18 @@ MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
     return &round_keys[static_cast<size_t>(round)];
   };
 
+  const bool stoppable = ctx.stoppable();
   for (const Instruction& instruction : pipeline) {
+    // Instruction boundaries are this interpreter's round boundaries:
+    // fault-injector polls and stop checks happen here, mirroring
+    // MultiColumnSorter::Sort.
+    if (stoppable) {
+      result.status = ctx.CheckRound();
+      if (!result.status.ok()) return result;
+    }
     switch (instruction.op) {
       case OpCode::kCodeMassage:
-        round_keys = ApplyMassage(inputs, instruction.plan, pool);
+        round_keys = ApplyMassage(inputs, instruction.plan, pool, &ctx);
         result.massage_seconds = 0;
         result.rounds.assign(instruction.plan.num_rounds(), RoundProfile{});
         break;
@@ -155,7 +164,7 @@ MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
         EncodedColumn gathered;
         result.rounds[static_cast<size_t>(instruction.round)].lookup_morsels =
             GatherColumn(round_keys[static_cast<size_t>(instruction.round)],
-                         result.oids.data(), n, &gathered, pool);
+                         result.oids.data(), n, &gathered, pool, &ctx);
         current = std::move(gathered);
         current_round = instruction.round;
         break;
@@ -163,20 +172,25 @@ MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
       case OpCode::kSimdSort: {
         sorter.SortSegments(
             instruction.bank, key_for(instruction.round), result.oids.data(),
-            segments, &result.rounds[static_cast<size_t>(instruction.round)]);
+            segments, &result.rounds[static_cast<size_t>(instruction.round)],
+            stoppable ? &ctx : nullptr);
         break;
       }
       case OpCode::kScanGroups: {
         RoundProfile& profile =
             result.rounds[static_cast<size_t>(instruction.round)];
         Segments refined;
-        profile.scan_chunks =
-            FindGroups(*key_for(instruction.round), segments, &refined, pool);
+        profile.scan_chunks = FindGroups(*key_for(instruction.round), segments,
+                                         &refined, pool, &ctx);
         segments = std::move(refined);
         profile.num_groups = segments.count();
         break;
       }
     }
+  }
+  if (stoppable && ctx.StopRequested()) {
+    result.status = ExecStatus::FromCode(ctx.StopCheck());
+    return result;
   }
   result.groups = std::move(segments);
   return result;

@@ -76,9 +76,13 @@ std::string PipelineToString(const std::vector<Instruction>& pipeline);
 // widths must cover the inputs' total width. A non-null `pool` runs every
 // operator (massage, lookup, segment sorts, group scan) through the
 // morsel-driven parallel executor, sharing MultiColumnSorter's policy.
-MultiColumnSortResult ExecutePipeline(const std::vector<Instruction>& pipeline,
-                                      const std::vector<MassageInput>& inputs,
-                                      ThreadPool* pool = nullptr);
+// A stoppable `ctx` is checked at every instruction boundary (and inside
+// each operator's morsels); on a stop the interpreter unwinds with the
+// typed status in the result and partial oids/groups to be discarded.
+MultiColumnSortResult ExecutePipeline(
+    const std::vector<Instruction>& pipeline,
+    const std::vector<MassageInput>& inputs, ThreadPool* pool = nullptr,
+    const ExecContext& ctx = ExecContext::Default());
 
 }  // namespace mcsort
 

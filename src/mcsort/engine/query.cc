@@ -74,13 +74,73 @@ SortInstanceStats QueryExecutor::InstanceStats(const QuerySpec& spec,
 }
 
 QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
-  return Execute(spec, nullptr);
+  return Execute(spec, ExecContext::Default()).result;
 }
 
 QueryResult QueryExecutor::Execute(const QuerySpec& spec,
                                    const PlanHint* hint) {
-  QueryResult result;
+  ExecContext ctx;
+  ctx.WithHint(hint);
+  return Execute(spec, ctx).result;
+}
+
+size_t QueryExecutor::EstimatePlanScratchBytes(const MassagePlan& plan,
+                                               uint64_t rows) {
+  // Per-row high-water mark: the oid permutation plus its merge scratch,
+  // one massaged key column per round (they coexist — massaging is
+  // up-front), and the widest round's gather + widen + merge buffers.
+  size_t per_row = 2 * sizeof(Oid);
+  int max_bank = 0;
+  for (const Round& round : plan.rounds()) {
+    per_row += static_cast<size_t>(round.bank) / 8;
+    max_bank = std::max(max_bank, round.bank);
+  }
+  per_row += 3 * static_cast<size_t>(max_bank) / 8;
+  return static_cast<size_t>(rows) * per_row;
+}
+
+ExecResult QueryExecutor::Execute(const QuerySpec& spec,
+                                  const ExecContext& ctx) {
+  int bank_cap = 0;  // 0 = unrestricted
+  for (;;) {
+    ExecResult attempt = ExecuteOnce(spec, ctx, bank_cap);
+    if (attempt.status.code != ExecCode::kResourceExhausted ||
+        !options_.use_massage) {
+      return attempt;
+    }
+    // Graceful degradation: halve the widest bank the failed attempt used
+    // (floor 16 bits — every total width fits at 16) and re-plan. The cap
+    // strictly decreases, so the loop runs at most twice past 64-bit
+    // plans. At the floor there is nothing narrower to try: fail for real.
+    int widest = 0;
+    for (const Round& round : attempt.result.plan.rounds()) {
+      widest = std::max(widest, round.bank);
+    }
+    if (bank_cap > 0) widest = std::min(widest, bank_cap);
+    if (widest <= 16) return attempt;
+    bank_cap = std::max(16, widest / 2);
+    ctx.ClearResourceFault();  // consume an injected allocation failure
+  }
+}
+
+ExecResult QueryExecutor::ExecuteOnce(const QuerySpec& spec,
+                                      const ExecContext& ctx, int bank_cap) {
+  const PlanHint* hint = ctx.hint();
+  const bool stoppable = ctx.stoppable();
+  ExecResult out;
+  QueryResult& result = out.result;
   result.input_rows = table_.row_count();
+  result.degraded = bank_cap > 0;
+  result.bank_cap = bank_cap;
+  // Phase-boundary stop check: partial payloads stay in the result (their
+  // timings are real) but callers must discard them on a non-ok status.
+  const auto stopped = [&]() {
+    if (!stoppable) return false;
+    const ExecCode code = ctx.StopCheck();
+    if (code == ExecCode::kOk) return false;
+    out.status = ExecStatus::FromCode(code);
+    return true;
+  };
   Timer timer;
 
   // ------------------------------------------------------------------
@@ -97,19 +157,22 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
       const ByteSliceColumn& bs = table_.byteslice(filter.column);
       BitVector* target = f == 0 ? &acc : &scratch;
       if (filter.is_between) {
-        ByteSliceScanBetween(bs, filter.literal, filter.literal2, target, options_.pool);
+        ByteSliceScanBetween(bs, filter.literal, filter.literal2, target,
+                             options_.pool, &ctx);
       } else {
-        ByteSliceScan(bs, filter.op, filter.literal, target, options_.pool);
+        ByteSliceScan(bs, filter.op, filter.literal, target, options_.pool,
+                      &ctx);
       }
       if (f > 0) acc.And(scratch);
     }
     acc.ToOidList(&filtered_oids);
     result.scan_seconds = timer.Seconds();
+    if (stopped()) return out;
   }
   const uint64_t n =
       has_filter ? filtered_oids.size() : table_.row_count();
   result.filtered_rows = n;
-  if (n == 0) return result;
+  if (n == 0) return out;
 
   // ------------------------------------------------------------------
   // 2. Materialize the sort attributes (lookup by filtered oids).
@@ -123,7 +186,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
     if (has_filter) {
       EncodedColumn gathered;
       GatherColumn(table_.column(name), filtered_oids.data(), n, &gathered,
-                   options_.pool);
+                   options_.pool, &ctx);
       sort_columns.push_back(std::move(gathered));
     }
   }
@@ -132,6 +195,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
                                           : &table_.column(attrs.names[c]));
   }
   result.materialize_seconds = timer.Seconds();
+  if (stopped()) return out;
 
   // ------------------------------------------------------------------
   // 3. Plan search (ROGA on the calibrated model) or baseline P0.
@@ -147,12 +211,21 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
   MassagePlan plan = MassagePlan::ColumnAtATime(widths);
   if (options_.use_massage) {
     // Exact cached-plan reuse: a width-compatible hint skips ROGA (and its
-    // stats lookups) entirely — the plan-cache hit path of the service.
+    // stats lookups) entirely — the plan-cache hit path of the service. A
+    // degraded re-execution only honors the hint if it fits the bank cap.
     bool hint_usable =
         hint != nullptr && hint->plan != nullptr && hint->plan->IsValid() &&
         hint->plan->total_width() == total_width &&
         hint->column_order != nullptr &&
         hint->column_order->size() == attrs.names.size();
+    if (hint_usable && bank_cap > 0) {
+      for (const Round& round : hint->plan->rounds()) {
+        if (round.bank > bank_cap) {
+          hint_usable = false;
+          break;
+        }
+      }
+    }
     if (hint_usable) {
       std::vector<bool> seen(attrs.names.size(), false);
       for (int idx : *hint->column_order) {
@@ -179,6 +252,8 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
       search.min_budget_seconds = options_.min_budget_seconds;
       search.permute_columns = attrs.permute_prefix > 1;
       search.permute_prefix = attrs.permute_prefix;
+      search.max_bank = bank_cap;
+      search.ctx = stoppable ? &ctx : nullptr;
       if (hint != nullptr) {
         search.warm_start = hint->warm_start;
         search.warm_start_order = hint->warm_start_order;
@@ -191,6 +266,17 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
   }
   result.plan = plan;
   result.column_order = order;
+  if (stopped()) return out;
+
+  // Scratch admission against the context's soft budget: an over-budget
+  // plan fails here with kResourceExhausted and Execute's degradation loop
+  // re-plans under a tighter bank cap instead of sorting.
+  if (ctx.scratch_budget_bytes() > 0 &&
+      EstimatePlanScratchBytes(plan, n) > ctx.scratch_budget_bytes()) {
+    out.status =
+        ExecStatus::ResourceExhausted("plan scratch estimate over budget");
+    return out;
+  }
 
   // ------------------------------------------------------------------
   // 4. Multi-column sorting (the paper's highlighted phase).
@@ -201,7 +287,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
                       attrs.orders[static_cast<size_t>(idx)]});
   }
   timer.Restart();
-  MultiColumnSortResult sorted = sorter_.Sort(inputs, plan);
+  MultiColumnSortResult sorted = sorter_.Sort(inputs, plan, ctx);
   // The paper's accounting: only sorts over MULTIPLE attributes count as
   // multi-column sorting; a single-attribute sort (e.g. Q13's GROUP BY on
   // one column) is "single-column sorting" and belongs to the rest bucket.
@@ -209,6 +295,11 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
     result.mcs_seconds = timer.Seconds();
   } else {
     result.post_seconds += timer.Seconds();
+  }
+  if (!sorted.status.ok()) {
+    out.status = sorted.status;
+    result.sort_profile = std::move(sorted);
+    return out;
   }
   result.num_groups = sorted.groups.count();
 
@@ -234,7 +325,7 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
     }
     EncodedColumn measure;
     GatherColumn(table_.column(agg.column), result.result_oids.data(), n,
-                 &measure, options_.pool);
+                 &measure, options_.pool, &ctx);
     agg_results.push_back(AggregateGroups(
         agg.op, measure, table_.domain_base(agg.column), sorted.groups));
   }
@@ -253,18 +344,28 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
     EncodedColumn gathered;
     for (const std::string& name : spec.partition_by) {
       GatherColumn(table_.column(name), result.result_oids.data(), n,
-                   &gathered, options_.pool);
+                   &gathered, options_.pool, &ctx);
       Segments refined;
-      FindGroups(gathered, partitions, &refined, options_.pool);
+      FindGroups(gathered, partitions, &refined, options_.pool, &ctx);
       partitions = std::move(refined);
+      if (stopped()) {
+        result.post_seconds += timer.Seconds();
+        result.sort_profile = std::move(sorted);
+        return out;
+      }
     }
     result.num_groups = partitions.count();
     EncodedColumn window_key;
     GatherColumn(table_.column(spec.window_order_column),
-                 result.result_oids.data(), n, &window_key, options_.pool);
+                 result.result_oids.data(), n, &window_key, options_.pool,
+                 &ctx);
     result.ranks = RankOverPartitions(partitions, window_key);
   }
   result.post_seconds += timer.Seconds();
+  if (stopped()) {
+    result.sort_profile = std::move(sorted);
+    return out;
+  }
 
   // ------------------------------------------------------------------
   // 6. Result ordering over the aggregated groups (e.g. Q13/Q16's ORDER
@@ -314,18 +415,26 @@ QueryResult QueryExecutor::Execute(const QuerySpec& spec,
       SearchOptions search;
       search.rho = options_.rho;
       search.min_budget_seconds = options_.min_budget_seconds;
+      search.max_bank = bank_cap;  // degraded runs stay under the cap
+      search.ctx = stoppable ? &ctx : nullptr;
       order_plan = RogaSearch(model_, stats, search).plan;
       result.plan_seconds += timer.Seconds();
     }
     timer.Restart();
-    MultiColumnSortResult ordered = sorter_.Sort(order_inputs, order_plan);
+    MultiColumnSortResult ordered =
+        sorter_.Sort(order_inputs, order_plan, ctx);
     result.mcs_seconds += timer.Seconds();
+    if (!ordered.status.ok()) {
+      out.status = ordered.status;
+      result.sort_profile = std::move(sorted);
+      return out;
+    }
     result.result_group_order.assign(ordered.oids.begin(),
                                      ordered.oids.end());
   }
 
   result.sort_profile = std::move(sorted);
-  return result;
+  return out;
 }
 
 }  // namespace mcsort

@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/cost/cost_model.h"
 #include "mcsort/engine/aggregate.h"
@@ -68,6 +70,77 @@ struct QuerySpec {
   std::vector<ResultOrderSpec> result_order;
 };
 
+// Fluent construction of QuerySpecs — replaces the hand-rolled field
+// assignments previously duplicated across tests and benches:
+//
+//   QuerySpec spec = QuerySpecBuilder("q13")
+//                        .Filter("c", CompareOp::kLess, 30000)
+//                        .GroupBy({"a", "b"})
+//                        .Sum("m")
+//                        .Count()
+//                        .ResultOrder("agg:0", SortOrder::kDescending)
+//                        .Build();
+class QuerySpecBuilder {
+ public:
+  QuerySpecBuilder() = default;
+  explicit QuerySpecBuilder(std::string id) { spec_.id = std::move(id); }
+
+  QuerySpecBuilder& Filter(std::string column, CompareOp op, Code literal) {
+    FilterSpec filter;
+    filter.column = std::move(column);
+    filter.op = op;
+    filter.literal = literal;
+    spec_.filters.push_back(std::move(filter));
+    return *this;
+  }
+  QuerySpecBuilder& FilterBetween(std::string column, Code lo, Code hi) {
+    FilterSpec filter;
+    filter.column = std::move(column);
+    filter.literal = lo;
+    filter.is_between = true;
+    filter.literal2 = hi;
+    spec_.filters.push_back(std::move(filter));
+    return *this;
+  }
+  QuerySpecBuilder& GroupBy(std::vector<std::string> columns) {
+    spec_.group_by = std::move(columns);
+    return *this;
+  }
+  // Appends one ORDER BY attribute (call once per attribute, in order).
+  QuerySpecBuilder& OrderBy(std::string column,
+                            SortOrder order = SortOrder::kAscending) {
+    spec_.order_by.emplace_back(std::move(column), order);
+    return *this;
+  }
+  QuerySpecBuilder& PartitionBy(std::vector<std::string> columns) {
+    spec_.partition_by = std::move(columns);
+    return *this;
+  }
+  QuerySpecBuilder& WindowOrder(std::string column) {
+    spec_.window_order_column = std::move(column);
+    return *this;
+  }
+  QuerySpecBuilder& Aggregate(AggOp op, std::string column) {
+    spec_.aggregates.push_back({op, std::move(column)});
+    return *this;
+  }
+  QuerySpecBuilder& Count() { return Aggregate(AggOp::kCount, ""); }
+  QuerySpecBuilder& Sum(std::string column) {
+    return Aggregate(AggOp::kSum, std::move(column));
+  }
+  // Appends one result-ordering key: "agg:<i>" or a group-by column name.
+  QuerySpecBuilder& ResultOrder(std::string key,
+                                SortOrder order = SortOrder::kAscending) {
+    spec_.result_order.push_back({std::move(key), order});
+    return *this;
+  }
+
+  QuerySpec Build() const { return spec_; }
+
+ private:
+  QuerySpec spec_;
+};
+
 struct QueryResult {
   size_t input_rows = 0;
   size_t filtered_rows = 0;
@@ -84,6 +157,15 @@ struct QueryResult {
   MassagePlan plan;
   std::vector<int> column_order;
   MultiColumnSortResult sort_profile;
+
+  // Graceful degradation under memory pressure: set when the executor
+  // re-planned with a bank cap because the unrestricted plan's scratch
+  // estimate exceeded the context's budget (or an allocation fault was
+  // injected). `bank_cap` is the cap (bits) the final plan honored.
+  // Degraded results are bit-identical on the Lemma-1 invariants (group
+  // bounds, sorted key order) — only the scratch footprint shrinks.
+  bool degraded = false;
+  int bank_cap = 0;
 
   // Result payloads (for verification and examples).
   std::vector<std::vector<int64_t>> aggregate_values;  // per aggregate spec
@@ -133,15 +215,45 @@ struct PlanHint {
   const std::vector<int>* warm_start_order = nullptr;
 };
 
+// StatusOr-style outcome of one execution. On a non-ok status the
+// QueryResult holds whatever phases completed (timings are valid; payloads
+// are partial and must be discarded).
+struct ExecResult {
+  ExecStatus status;
+  QueryResult result;
+  bool ok() const { return status.ok(); }
+};
+
 class QueryExecutor {
  public:
   QueryExecutor(const Table& table, const ExecutorOptions& options);
 
+  // Executes under `ctx` — the single entry point. The context carries the
+  // cancellation token, deadline, scratch budget, fault injector, and the
+  // plan hint (ExecContext::WithHint; only the main sort consults it — the
+  // small, sampled-stats result-ordering sort always plans locally).
+  //
+  // Cancellation / deadline expiry / injected faults unwind at the next
+  // morsel / merge-chunk / round boundary with a typed status. When the
+  // scratch estimate for the chosen plan exceeds ctx.scratch_budget_bytes()
+  // (or an allocation fault fires), the executor degrades gracefully:
+  // ROGA re-plans under a halved bank cap (floor 16 bits) and the sort is
+  // retried — see QueryResult::degraded.
+  ExecResult Execute(const QuerySpec& spec, const ExecContext& ctx);
+
+  [[deprecated("use Execute(spec, ExecContext) — removed next PR")]]
   QueryResult Execute(const QuerySpec& spec);
   // Execute with external planning context (nullptr behaves like above).
-  // Only the main sort consults the hint; the (small, sampled-stats)
-  // result-ordering sort always plans locally.
+  [[deprecated("use Execute(spec, ExecContext::Default().WithHint(hint))")]]
   QueryResult Execute(const QuerySpec& spec, const PlanHint* hint);
+
+  // Scratch high-water estimate (bytes) for sorting `rows` rows under
+  // `plan`: the oid permutation + merge scratch plus the widest round's
+  // massage/gather/widen buffers. This is the quantity compared against
+  // ExecContext::scratch_budget_bytes() by the degradation loop; public so
+  // tests pick budgets that force (or just avoid) degradation.
+  static size_t EstimatePlanScratchBytes(const MassagePlan& plan,
+                                         uint64_t rows);
 
   // The sort-attribute statistics instance a query induces (exposed for
   // benchmarks that explore the plan space directly).
@@ -160,6 +272,12 @@ class QueryExecutor {
   SortAttrs ResolveSortAttrs(const QuerySpec& spec) const;
 
  private:
+  // One attempt at `bank_cap` (0 = unrestricted). The public Execute wraps
+  // this in the degradation loop: kResourceExhausted with a wider-than-16
+  // bank plan halves the cap and retries.
+  ExecResult ExecuteOnce(const QuerySpec& spec, const ExecContext& ctx,
+                         int bank_cap);
+
   const Table& table_;
   ExecutorOptions options_;
   CostModel model_;

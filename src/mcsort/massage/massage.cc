@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/massage/fip.h"
 
@@ -69,7 +70,8 @@ void DispatchSegment(const EncodedColumn& in, EncodedColumn* out,
 
 std::vector<EncodedColumn> ApplyMassage(const std::vector<MassageInput>& inputs,
                                         const MassagePlan& plan,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        const ExecContext* ctx) {
   MCSORT_CHECK(!inputs.empty());
   MCSORT_CHECK(plan.IsValid());
   const size_t n = inputs[0].column->size();
@@ -106,8 +108,11 @@ std::vector<EncodedColumn> ApplyMassage(const std::vector<MassageInput>& inputs,
                       begin, end);
     }
   };
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(n, run);
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
+  if (pool != nullptr && (pool->num_threads() > 1 || stoppable)) {
+    // With a stoppable ctx the pool chunks the row range and checks for a
+    // stop between chunks even on a single-threaded pool.
+    pool->ParallelFor(n, run, ctx);
   } else {
     run(0, n, 0);
   }

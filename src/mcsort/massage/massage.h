@@ -21,6 +21,8 @@
 
 namespace mcsort {
 
+class ExecContext;  // common/exec_context.h
+
 struct MassageInput {
   const EncodedColumn* column = nullptr;
   SortOrder order = SortOrder::kAscending;
@@ -33,10 +35,13 @@ struct MassageInput {
 // bank's SIMD-sort directly (e.g. a 10-bit round sorted with a 32-bit bank
 // is stored as uint32).
 //
-// If `pool` is non-null the row ranges are massaged in parallel.
+// If `pool` is non-null the row ranges are massaged in parallel. A
+// stoppable `ctx` stops the passes between row chunks; the outputs are
+// then partial and the caller must re-check ctx before using them.
 std::vector<EncodedColumn> ApplyMassage(const std::vector<MassageInput>& inputs,
                                         const MassagePlan& plan,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        const ExecContext* ctx = nullptr);
 
 }  // namespace mcsort
 

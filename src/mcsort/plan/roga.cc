@@ -4,12 +4,32 @@
 #include <numeric>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/timer.h"
 #include "mcsort/plan/enumerate.h"
 
 namespace mcsort {
 namespace {
+
+// Plan seed when the bank cap rules out P0: ceil(W / bank) rounds of at
+// most `bank` bits, all at the capped bank. Feasible for every W because
+// rounds split the concatenated key bits at arbitrary boundaries.
+MassagePlan NarrowestPlan(int total_width, int bank) {
+  std::vector<Round> rounds;
+  for (int remaining = total_width; remaining > 0; remaining -= bank) {
+    rounds.push_back({std::min(remaining, bank), bank});
+  }
+  return MassagePlan(std::move(rounds));
+}
+
+bool WithinBankCap(const MassagePlan& plan, int max_bank) {
+  if (max_bank <= 0) return true;
+  for (const Round& round : plan.rounds()) {
+    if (round.bank > max_bank) return false;
+  }
+  return true;
+}
 
 struct SearchState {
   const CostModel* model;
@@ -21,8 +41,16 @@ struct SearchState {
   size_t plans_costed = 0;
   bool timed_out = false;
 
-  // Line 6 of Algorithm 1: elapsed > rho * T_mcs(P*)?
+  // Line 6 of Algorithm 1: elapsed > rho * T_mcs(P*)? Also the search's
+  // cooperative stop point: a cancellation / deadline / injected fault on
+  // the attached ExecContext ends the search the same way the stopwatch
+  // does (best-so-far plan, timed_out flagged); the caller re-checks the
+  // context and discards the result.
   bool TimeUp() {
+    if (options->ctx != nullptr && options->ctx->StopRequested()) {
+      timed_out = true;
+      return true;
+    }
     if (options->rho <= 0) return false;
     const double best_seconds = best_cycles / (model->params().ghz * 1e9);
     // The floor keeps small-scale searches meaningful but must never
@@ -128,11 +156,16 @@ void ExploreOrder(const SortInstanceStats& stats,
   const int total_width = stats.total_width();
   const int max_rounds =
       std::min(MaxUsefulRounds(total_width), state->options->max_rounds_cap);
+  const int max_bank = state->options->max_bank;
   for (int k = 1; k <= max_rounds; ++k) {
     for (const std::vector<int>& combo : ValidBankCombos(total_width, k)) {
       // One-round plans are so cheap to cost that they are always
       // explored; the stopwatch governs everything beyond.
       if (k > 1 && state->TimeUp()) return;
+      if (max_bank > 0 &&
+          *std::max_element(combo.begin(), combo.end()) > max_bank) {
+        continue;  // combo exceeds the scratch-degradation bank cap
+      }
       ExploreCombo(combo, stats, order, state);
     }
   }
@@ -150,8 +183,13 @@ SearchResult RogaSearch(const CostModel& model, const SortInstanceStats& stats,
   std::vector<int> identity(stats.columns.size());
   std::iota(identity.begin(), identity.end(), 0);
 
-  // Initialize P* with the original column-at-a-time plan (line 2).
+  // Initialize P* with the original column-at-a-time plan (line 2) — or,
+  // when a bank cap rules P0 out, with the narrowest capped plan, which is
+  // feasible for every total width.
   state.best_plan = MassagePlan::ColumnAtATime(stats.widths());
+  if (!WithinBankCap(state.best_plan, options.max_bank)) {
+    state.best_plan = NarrowestPlan(stats.total_width(), options.max_bank);
+  }
   state.best_cycles = model.EstimateCycles(state.best_plan, stats);
   state.best_order = identity;
   state.plans_costed = 1;
@@ -159,6 +197,7 @@ SearchResult RogaSearch(const CostModel& model, const SortInstanceStats& stats,
   // Warm start from a cached plan: consider it immediately so the rho
   // stopwatch budget is anchored by its (usually near-optimal) estimate.
   if (options.warm_start != nullptr && options.warm_start->IsValid() &&
+      WithinBankCap(*options.warm_start, options.max_bank) &&
       options.warm_start->total_width() == stats.total_width()) {
     std::vector<int> warm_order = identity;
     if (options.warm_start_order != nullptr &&

@@ -26,6 +26,8 @@
 
 namespace mcsort {
 
+class ExecContext;  // common/exec_context.h
+
 struct SearchOptions {
   // Time threshold rho: stop when elapsed > rho * best-plan estimated
   // runtime. The paper recommends 0.1%. <= 0 disables the time bound
@@ -53,6 +55,20 @@ struct SearchOptions {
   // must outlive the call.
   const MassagePlan* warm_start = nullptr;
   const std::vector<int>* warm_start_order = nullptr;
+  // Bank-width cap in bits (0 = unrestricted): only plans whose rounds all
+  // use banks <= max_bank are considered. The executor re-plans with a cap
+  // when the unrestricted plan's scratch estimate exceeds the ExecContext's
+  // scratch budget — narrower banks mean narrower key columns and scratch.
+  // Any width is feasible at the narrowest cap (16): rounds split the
+  // concatenated bits at arbitrary boundaries, so the search seeds P* with
+  // ceil(W / max_bank) rounds of max_bank bits instead of P0 when P0 would
+  // violate the cap. A non-compliant warm start is ignored.
+  int max_bank = 0;
+  // Cooperative stop: a stoppable context makes the search return its best
+  // plan so far as soon as a cancellation / deadline / injected fault is
+  // observed (flagged as timed_out). The caller re-checks the context and
+  // discards the result on a stop. Borrowed; may be null.
+  const ExecContext* ctx = nullptr;
 };
 
 struct SearchResult {

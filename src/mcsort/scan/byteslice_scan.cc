@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/simd/simd.h"
 
@@ -96,31 +97,42 @@ namespace {
 // one 64-bit result word (SetBlock32 is a read-modify-write), so a word
 // must never straddle two workers.
 template <typename Fn>
-void ForEachBlock(size_t n, ThreadPool* pool, const Fn& body) {
+void ForEachBlock(size_t n, ThreadPool* pool, const ExecContext* ctx,
+                  const Fn& body) {
   const size_t blocks = RoundUp(n, 32) / 32;
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
   if (pool == nullptr || pool->num_threads() <= 1 || blocks < 64) {
-    for (size_t block = 0; block < blocks; ++block) body(block);
+    // Serial path: a coarse stop check every 1024 blocks (32k rows) keeps
+    // the per-block cost at zero for plain contexts.
+    for (size_t block = 0; block < blocks; ++block) {
+      if (stoppable && (block & 1023) == 0 && ctx->StopRequested()) return;
+      body(block);
+    }
     return;
   }
   const size_t pairs = (blocks + 1) / 2;
-  pool->ParallelFor(pairs, [&](uint64_t begin, uint64_t end, int) {
-    for (uint64_t pair = begin; pair < end; ++pair) {
-      const size_t first = static_cast<size_t>(2 * pair);
-      body(first);
-      if (first + 1 < blocks) body(first + 1);
-    }
-  });
+  pool->ParallelFor(
+      pairs,
+      [&](uint64_t begin, uint64_t end, int) {
+        for (uint64_t pair = begin; pair < end; ++pair) {
+          const size_t first = static_cast<size_t>(2 * pair);
+          body(first);
+          if (first + 1 < blocks) body(first + 1);
+        }
+      },
+      ctx);
 }
 
 }  // namespace
 
 void ByteSliceScan(const ByteSliceColumn& column, CompareOp op, Code literal,
-                   BitVector* result, ThreadPool* pool) {
+                   BitVector* result, ThreadPool* pool,
+                   const ExecContext* ctx) {
   const size_t n = column.size();
   result->Resize(n);
   uint8_t literal_bytes[8] = {0};
   SplitLiteral(column, literal, literal_bytes);
-  ForEachBlock(n, pool, [&](size_t block) {
+  ForEachBlock(n, pool, ctx, [&](size_t block) {
     uint32_t lt = 0;
     uint32_t eq = 0;
     ScanBlock(column, literal_bytes, 32 * block, &lt, &eq);
@@ -130,7 +142,8 @@ void ByteSliceScan(const ByteSliceColumn& column, CompareOp op, Code literal,
 }
 
 void ByteSliceScanBetween(const ByteSliceColumn& column, Code lo, Code hi,
-                          BitVector* result, ThreadPool* pool) {
+                          BitVector* result, ThreadPool* pool,
+                          const ExecContext* ctx) {
   MCSORT_CHECK(lo <= hi);
   const size_t n = column.size();
   result->Resize(n);
@@ -138,7 +151,7 @@ void ByteSliceScanBetween(const ByteSliceColumn& column, Code lo, Code hi,
   uint8_t hi_bytes[8] = {0};
   SplitLiteral(column, lo, lo_bytes);
   SplitLiteral(column, hi, hi_bytes);
-  ForEachBlock(n, pool, [&](size_t block) {
+  ForEachBlock(n, pool, ctx, [&](size_t block) {
     uint32_t lt_lo = 0, eq_lo = 0, lt_hi = 0, eq_hi = 0;
     ScanBlock(column, lo_bytes, 32 * block, &lt_lo, &eq_lo);
     ScanBlock(column, hi_bytes, 32 * block, &lt_hi, &eq_hi);

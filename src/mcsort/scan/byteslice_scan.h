@@ -16,19 +16,25 @@
 
 namespace mcsort {
 
+class ExecContext;  // common/exec_context.h
+
 enum class CompareOp { kLess, kLessEq, kGreater, kGreaterEq, kEq, kNeq };
 
 // Evaluates `column <op> literal` over all rows into `result` (resized to
 // the column's row count). `literal` is an encoded value of the column's
 // width. A non-null `pool` splits the scan by 32-row blocks across
 // workers (blocks write disjoint result words... block pairs share a
-// word, so ranges are aligned to even block counts internally).
+// word, so ranges are aligned to even block counts internally). A
+// stoppable `ctx` stops the scan between block ranges; the result is then
+// partial and the caller must re-check ctx before using it.
 void ByteSliceScan(const ByteSliceColumn& column, CompareOp op, Code literal,
-                   BitVector* result, ThreadPool* pool = nullptr);
+                   BitVector* result, ThreadPool* pool = nullptr,
+                   const ExecContext* ctx = nullptr);
 
 // Evaluates `lo <= column <= hi` (encoded bounds, inclusive).
 void ByteSliceScanBetween(const ByteSliceColumn& column, Code lo, Code hi,
-                          BitVector* result, ThreadPool* pool = nullptr);
+                          BitVector* result, ThreadPool* pool = nullptr,
+                          const ExecContext* ctx = nullptr);
 
 }  // namespace mcsort
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/thread_pool.h"
 
@@ -54,7 +55,8 @@ void CollectCuts(const K* keys, const Segments& parents, uint64_t lo,
 
 template <typename K>
 size_t FindGroupsChunked(const K* keys, const Segments& parents,
-                         Segments* out, ThreadPool* pool) {
+                         Segments* out, ThreadPool* pool,
+                         const ExecContext* ctx) {
   const uint64_t front = parents.bounds.front();
   const uint64_t back = parents.bounds.back();
   const uint64_t rows = back - front;
@@ -63,7 +65,8 @@ size_t FindGroupsChunked(const K* keys, const Segments& parents,
                           kGroupScanChunkRows);
   std::vector<std::vector<uint32_t>> chunk_cuts(num_chunks);
   pool->ParallelForDynamic(
-      num_chunks, 1, [&](uint64_t begin, uint64_t end, int) {
+      num_chunks, 1,
+      [&](uint64_t begin, uint64_t end, int) {
         for (uint64_t c = begin; c < end; ++c) {
           const uint64_t lo = front + c * kGroupScanChunkRows;
           const uint64_t hi =
@@ -71,7 +74,8 @@ size_t FindGroupsChunked(const K* keys, const Segments& parents,
           CollectCuts(keys, parents, lo, hi,
                       &chunk_cuts[static_cast<size_t>(c)]);
         }
-      });
+      },
+      ctx);
   // Stitch: the final bounds are the shared front plus every chunk's cuts
   // in chunk order.
   size_t total = 1;
@@ -88,23 +92,28 @@ size_t FindGroupsChunked(const K* keys, const Segments& parents,
 }  // namespace
 
 size_t FindGroups(const EncodedColumn& keys, const Segments& parents,
-                  Segments* out, ThreadPool* pool) {
+                  Segments* out, ThreadPool* pool, const ExecContext* ctx) {
   if (parents.count() > 0) {
     MCSORT_CHECK(parents.bounds.back() == keys.size());
   }
   const uint64_t rows =
       parents.count() > 0 ? parents.bounds.back() - parents.bounds.front()
                           : 0;
-  if (pool != nullptr && pool->num_threads() > 1 &&
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
+  if (pool != nullptr && (pool->num_threads() > 1 || stoppable) &&
       rows >= 2 * kGroupScanChunkRows) {
     switch (keys.type()) {
       case PhysicalType::kU16:
-        return FindGroupsChunked(keys.Data16(), parents, out, pool);
+        return FindGroupsChunked(keys.Data16(), parents, out, pool, ctx);
       case PhysicalType::kU32:
-        return FindGroupsChunked(keys.Data32(), parents, out, pool);
+        return FindGroupsChunked(keys.Data32(), parents, out, pool, ctx);
       case PhysicalType::kU64:
-        return FindGroupsChunked(keys.Data64(), parents, out, pool);
+        return FindGroupsChunked(keys.Data64(), parents, out, pool, ctx);
     }
+  }
+  if (stoppable && ctx->StopRequested()) {
+    out->bounds.clear();
+    return 0;
   }
   switch (keys.type()) {
     case PhysicalType::kU16:

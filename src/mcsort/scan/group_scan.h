@@ -20,7 +20,8 @@
 
 namespace mcsort {
 
-class ThreadPool;  // common/thread_pool.h
+class ExecContext;  // common/exec_context.h
+class ThreadPool;   // common/thread_pool.h
 
 // Rows per chunk of a parallel group scan.
 constexpr size_t kGroupScanChunkRows = size_t{1} << 16;
@@ -46,9 +47,13 @@ struct Segments {
 // Splits every parent segment of `keys` (sorted within each parent) at key
 // changes. Returns the refined segmentation in `out` (which may alias
 // nothing) and the number of scan chunks executed (1 for a serial run on
-// nonempty input). If `pool` is non-null the scan runs chunk-parallel.
+// nonempty input). If `pool` is non-null the scan runs chunk-parallel. A
+// stoppable `ctx` bounds cancellation latency to one chunk; on a stop the
+// segmentation is incomplete and must be discarded by the caller (who
+// re-checks ctx).
 size_t FindGroups(const EncodedColumn& keys, const Segments& parents,
-                  Segments* out, ThreadPool* pool = nullptr);
+                  Segments* out, ThreadPool* pool = nullptr,
+                  const ExecContext* ctx = nullptr);
 
 // Counts how many of the segments have more than one row (the paper's
 // N_sort: singleton groups skip sorting in the next round).

@@ -1,5 +1,6 @@
 #include "mcsort/scan/lookup.h"
 
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/simd/simd.h"
@@ -48,7 +49,8 @@ void Gather64(const uint64_t* src, const Oid* oids, size_t n, uint64_t* out) {
 }  // namespace
 
 size_t GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
-                    EncodedColumn* out, ThreadPool* pool) {
+                    EncodedColumn* out, ThreadPool* pool,
+                    const ExecContext* ctx) {
   // Preserve the source's physical type: round keys may be typed for a
   // bank wider than their code width. No zero-fill: every slot is written.
   out->ResetTyped(src.width(), src.type(), n, /*zero_fill=*/false);
@@ -68,12 +70,17 @@ size_t GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
         break;
     }
   };
-  if (pool != nullptr && pool->num_threads() > 1 &&
+  // A stoppable context also takes the morsel path on a single-threaded
+  // pool: the inline dispatch loops morsel-sized chunks with stop checks,
+  // keeping the cancellation latency bounded.
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
+  if (pool != nullptr && (pool->num_threads() > 1 || stoppable) &&
       n >= 2 * kGatherMorselRows) {
-    return pool->ParallelForDynamic(n, kGatherMorselRows, gather_range)
+    return pool->ParallelForDynamic(n, kGatherMorselRows, gather_range, ctx)
         .morsels;
   }
   if (n == 0) return 0;
+  if (stoppable && ctx->StopRequested()) return 0;
   gather_range(0, n, 0);
   return 1;
 }

@@ -18,7 +18,8 @@
 
 namespace mcsort {
 
-class ThreadPool;  // common/thread_pool.h
+class ExecContext;  // common/exec_context.h
+class ThreadPool;   // common/thread_pool.h
 
 // Rows per morsel of a parallel gather: large enough that the atomic
 // claim is noise, small enough to rebalance when chunks hit uneven TLB /
@@ -28,9 +29,12 @@ constexpr size_t kGatherMorselRows = size_t{1} << 16;
 // out[i] = src[oids[i]]; `out` is reset to src's width and n rows.
 // Uses AVX2 gathers for the 32/64-bit physical types. If `pool` is
 // non-null the output is produced in parallel morsels. Returns the number
-// of morsels executed (1 for a serial run on nonempty input).
+// of morsels executed (1 for a serial run on nonempty input). A stoppable
+// `ctx` bounds cancellation latency to one morsel; on a stop the output is
+// partial and must be discarded by the caller (who re-checks ctx).
 size_t GatherColumn(const EncodedColumn& src, const Oid* oids, size_t n,
-                    EncodedColumn* out, ThreadPool* pool = nullptr);
+                    EncodedColumn* out, ThreadPool* pool = nullptr,
+                    const ExecContext* ctx = nullptr);
 
 // ByteSlice lookup: stitches the bytes of each requested row back into a
 // code ([14]'s byte-stitching lookup).

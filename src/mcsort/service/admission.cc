@@ -1,6 +1,7 @@
 #include "mcsort/service/admission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "mcsort/common/logging.h"
@@ -20,6 +21,7 @@ AdmissionController::Ticket& AdmissionController::Ticket::operator=(
     controller_ = std::exchange(other.controller_, nullptr);
     bytes_ = other.bytes_;
     wait_seconds_ = other.wait_seconds_;
+    status_ = other.status_;
   }
   return *this;
 }
@@ -32,26 +34,49 @@ void AdmissionController::Ticket::Release() {
 }
 
 AdmissionController::Ticket AdmissionController::Admit(
-    size_t estimated_bytes) {
+    size_t estimated_bytes, const ExecContext& ctx) {
   Timer timer;
+  const bool stoppable = ctx.stoppable();
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t my_turn = next_ticket_++;
-  ++queue_depth_;
-  peak_queue_depth_ = std::max(peak_queue_depth_, queue_depth_);
-  cv_.wait(lock, [&] {
-    // FIFO: strictly admit in arrival order, once a slot and (soft)
+  waiting_.insert(my_turn);
+  peak_queue_depth_ =
+      std::max(peak_queue_depth_, static_cast<int>(waiting_.size()));
+  const auto runnable = [&] {
+    // FIFO: only the oldest waiter is admitted, once a slot and (soft)
     // budget are free. A query bigger than the whole budget is admitted
     // when it is alone, so it cannot starve.
-    if (my_turn != serving_ticket_) return false;
+    if (*waiting_.begin() != my_turn) return false;
     if (inflight_ >= options_.max_inflight) return false;
     if (options_.memory_budget_bytes > 0 && inflight_ > 0 &&
         inflight_bytes_ + estimated_bytes > options_.memory_budget_bytes) {
       return false;
     }
     return true;
-  });
-  ++serving_ticket_;
-  --queue_depth_;
+  };
+  while (!runnable()) {
+    if (stoppable) {
+      const ExecCode code = ctx.StopCheck();
+      if (code != ExecCode::kOk) {
+        // Abandon: drop out of the wait set so headship passes to the
+        // next arrival, and report the stop instead of a slot.
+        waiting_.erase(my_turn);
+        ++abandoned_total_;
+        lock.unlock();
+        cv_.notify_all();
+        Ticket ticket;
+        ticket.status_ = ExecStatus::FromCode(code);
+        ticket.wait_seconds_ = timer.Seconds();
+        return ticket;
+      }
+      // Bounded naps instead of an open-ended wait: the stop flag has no
+      // condition variable hooked to it, so abandon latency is one nap.
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  waiting_.erase(my_turn);
   ++inflight_;
   inflight_bytes_ += estimated_bytes;
   peak_inflight_ = std::max(peak_inflight_, inflight_);
@@ -81,10 +106,11 @@ AdmissionController::Stats AdmissionController::GetStats() const {
   Stats stats;
   stats.inflight = inflight_;
   stats.inflight_bytes = inflight_bytes_;
-  stats.queue_depth = queue_depth_;
+  stats.queue_depth = static_cast<int>(waiting_.size());
   stats.peak_inflight = peak_inflight_;
   stats.peak_queue_depth = peak_queue_depth_;
   stats.admitted_total = admitted_total_;
+  stats.abandoned_total = abandoned_total_;
   return stats;
 }
 

@@ -8,6 +8,13 @@
 // The memory budget is *soft*: a query whose estimate alone exceeds the
 // whole budget is admitted once nothing else is in flight (otherwise it
 // could never run), which bounds overshoot to one oversized query.
+//
+// Waiting is cancellable: Admit takes an ExecContext, and a waiter whose
+// context stops (cancellation, deadline, injected fault) abandons its
+// queue position and returns an unadmitted ticket carrying the typed
+// status. The wait set is an ordered set rather than a served-ticket
+// counter precisely so an abandoning head waiter hands FIFO headship to
+// the next arrival instead of deadlocking the queue.
 #ifndef MCSORT_SERVICE_ADMISSION_H_
 #define MCSORT_SERVICE_ADMISSION_H_
 
@@ -15,6 +22,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <set>
+
+#include "mcsort/common/exec_context.h"
 
 namespace mcsort {
 
@@ -32,7 +42,11 @@ class AdmissionController {
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
-  // RAII admission ticket; releases the slot and budget on destruction.
+  // RAII admission ticket; releases the slot and budget on destruction —
+  // including every error path: a session that unwinds with a non-ok
+  // ExecStatus (or throws past the ticket) frees its slot the moment the
+  // ticket goes out of scope, never by an explicit call the error path
+  // could skip.
   class Ticket {
    public:
     Ticket() = default;
@@ -41,7 +55,9 @@ class AdmissionController {
     ~Ticket() { Release(); }
     void Release();
     bool admitted() const { return controller_ != nullptr; }
-    // Seconds spent queued before admission.
+    // kOk when admitted; the stop code when the wait was abandoned.
+    const ExecStatus& status() const { return status_; }
+    // Seconds spent queued before admission (or before abandoning).
     double wait_seconds() const { return wait_seconds_; }
 
    private:
@@ -49,10 +65,15 @@ class AdmissionController {
     AdmissionController* controller_ = nullptr;
     size_t bytes_ = 0;
     double wait_seconds_ = 0;
+    ExecStatus status_;
   };
 
-  // Blocks until a slot (and budget) frees up, FIFO.
-  Ticket Admit(size_t estimated_bytes);
+  // Blocks until a slot (and budget) frees up, FIFO. A stoppable `ctx`
+  // turns the block into a poll: when the context stops, the waiter
+  // abandons its place and the returned ticket is unadmitted with the
+  // stop's status (check ticket.status()).
+  Ticket Admit(size_t estimated_bytes,
+               const ExecContext& ctx = ExecContext::Default());
 
   struct Stats {
     int inflight = 0;            // currently admitted
@@ -61,6 +82,7 @@ class AdmissionController {
     int peak_inflight = 0;
     int peak_queue_depth = 0;
     uint64_t admitted_total = 0;
+    uint64_t abandoned_total = 0;  // waits given up on a stopped context
   };
   Stats GetStats() const;
   const AdmissionOptions& options() const { return options_; }
@@ -71,14 +93,15 @@ class AdmissionController {
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  uint64_t next_ticket_ = 0;    // FIFO order: issued on arrival
-  uint64_t serving_ticket_ = 0; // lowest not-yet-admitted arrival
+  uint64_t next_ticket_ = 0;     // FIFO order: issued on arrival
+  std::set<uint64_t> waiting_;   // arrival order of everyone still queued;
+                                 // *begin() is the FIFO head
   int inflight_ = 0;
   size_t inflight_bytes_ = 0;
-  int queue_depth_ = 0;
   int peak_inflight_ = 0;
   int peak_queue_depth_ = 0;
   uint64_t admitted_total_ = 0;
+  uint64_t abandoned_total_ = 0;
 };
 
 }  // namespace mcsort

@@ -26,8 +26,13 @@ QuerySession::QuerySession(QueryService* service, const Table& table,
                            uint64_t id, const ExecutorOptions& options)
     : service_(service), table_(&table), executor_(table, options), id_(id) {}
 
+ExecResult QuerySession::Execute(const QuerySpec& spec,
+                                 const ExecContext& ctx) {
+  return service_->ExecuteOn(this, spec, ctx);
+}
+
 QueryResult QuerySession::Execute(const QuerySpec& spec) {
-  return service_->ExecuteOn(this, spec);
+  return service_->ExecuteOn(this, spec, ExecContext::Default()).result;
 }
 
 size_t EstimateScratchBytes(const Table& table,
@@ -66,20 +71,31 @@ std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
       new QuerySession(this, table, id, exec));
 }
 
-QueryResult QueryService::ExecuteOn(QuerySession* session,
-                                    const QuerySpec& spec) {
+ExecResult QueryService::ExecuteOn(QuerySession* session,
+                                   const QuerySpec& spec,
+                                   const ExecContext& ctx) {
   metrics_.counter("service.queries_submitted")->Increment();
   const Table& table = session->table();
   const QueryExecutor::SortAttrs attrs =
       session->executor_.ResolveSortAttrs(spec);
 
   // Admission: bounded in-flight queries + soft scratch-memory budget.
+  // The RAII ticket releases the slot on every exit from this function —
+  // ok, cancelled, degraded, or unwinding — never by explicit calls an
+  // error path could miss.
   AdmissionController::Ticket ticket =
-      admission_.Admit(EstimateScratchBytes(table, attrs));
+      admission_.Admit(EstimateScratchBytes(table, attrs), ctx);
   metrics_.histogram("admission.wait_seconds")->Record(ticket.wait_seconds());
+  if (!ticket.admitted()) {
+    metrics_.counter(std::string("exec.") + ticket.status().name())
+        ->Increment();
+    ExecResult out;
+    out.status = ticket.status();
+    return out;
+  }
 
   Timer timer;
-  QueryResult result;
+  ExecResult out;
   session->last_plan_cached_ = false;
   if (options_.use_massage) {
     const QuerySignature signature =
@@ -99,17 +115,33 @@ QueryResult QueryService::ExecuteOn(QuerySession* session,
       hint.warm_start = &cached.plan;
       hint.warm_start_order = &cached.column_order;
     }
-    result = session->executor_.Execute(spec, &hint);
+    ExecContext exec_ctx = ctx;  // copies share the flag / fault cell
+    exec_ctx.WithHint(&hint);
+    out = session->executor_.Execute(spec, exec_ctx);
     // Memoize fresh searches (the zero-row early return never plans).
-    if (outcome != PlanCache::Outcome::kHit && result.filtered_rows > 0) {
+    // Never cache failed or degraded executions: a stopped search's
+    // best-so-far plan and a bank-capped plan are both wrong answers for
+    // the next, unconstrained instance of this signature.
+    if (outcome != PlanCache::Outcome::kHit && out.ok() &&
+        !out.result.degraded && out.result.filtered_rows > 0) {
       CachedPlan fresh;
-      fresh.plan = result.plan;
-      fresh.column_order = result.column_order;
+      fresh.plan = out.result.plan;
+      fresh.column_order = out.result.column_order;
       fresh.fingerprints = std::move(current);
       plan_cache_.Insert(signature, std::move(fresh));
     }
   } else {
-    result = session->executor_.Execute(spec);
+    out = session->executor_.Execute(spec, ctx);
+  }
+  QueryResult& result = out.result;
+
+  // Outcome accounting: exec.ok / exec.cancelled / exec.deadline_exceeded
+  // / exec.resource_exhausted, plus degradations absorbed along the way.
+  metrics_.counter(std::string("exec.") + out.status.name())->Increment();
+  if (result.degraded) metrics_.counter("exec.degraded")->Increment();
+  if (!out.ok()) {
+    metrics_.histogram("exec.failed_seconds")->Record(timer.Seconds());
+    return out;
   }
 
   metrics_.counter("service.queries_served")->Increment();
@@ -136,7 +168,7 @@ QueryResult QueryService::ExecuteOn(QuerySession* session,
   metrics_.counter("morsels.lookup")->Add(lookup_morsels);
   metrics_.counter("morsels.scan")->Add(scan_chunks);
   metrics_.counter("morsels.cooperative_sorts")->Add(cooperative);
-  return result;
+  return out;
 }
 
 std::string QueryService::DumpMetrics() {
@@ -156,10 +188,12 @@ std::string QueryService::DumpMetrics() {
   const AdmissionController::Stats admission = admission_.GetStats();
   std::snprintf(line, sizeof(line),
                 "admission.admitted_total %llu\n"
+                "admission.abandoned_total %llu\n"
                 "admission.peak_inflight %d\n"
                 "admission.peak_queue_depth %d\n"
                 "admission.queue_depth %d\n",
                 static_cast<unsigned long long>(admission.admitted_total),
+                static_cast<unsigned long long>(admission.abandoned_total),
                 admission.peak_inflight, admission.peak_queue_depth,
                 admission.queue_depth);
   out += line;

@@ -60,9 +60,18 @@ struct ServiceOptions {
 class QueryService;
 
 // One client's handle: owns a QueryExecutor (and thus per-session sort
-// scratch) bound to one table. Not thread-safe; open one per client.
+// scratch) bound to one table. Not thread-safe; open one per client —
+// though the CancellationSource feeding a ctx may be fired from any
+// thread, which is the intended way to cancel an in-flight Execute.
 class QuerySession {
  public:
+  // Executes under `ctx`: admission waits, plan search, the sort, and
+  // post-processing all observe the context's cancellation token /
+  // deadline / scratch budget / fault injector. The outcome is recorded
+  // in the service metrics under exec.<status-name>.
+  ExecResult Execute(const QuerySpec& spec, const ExecContext& ctx);
+
+  [[deprecated("use Execute(spec, ExecContext) — removed next PR")]]
   QueryResult Execute(const QuerySpec& spec);
 
   uint64_t id() const { return id_; }
@@ -112,7 +121,8 @@ class QueryService {
 
  private:
   friend class QuerySession;
-  QueryResult ExecuteOn(QuerySession* session, const QuerySpec& spec);
+  ExecResult ExecuteOn(QuerySession* session, const QuerySpec& spec,
+                       const ExecContext& ctx);
 
   ServiceOptions options_;
   CostParams params_;

@@ -20,6 +20,7 @@
 #include <cstring>
 
 #include "mcsort/common/aligned_buffer.h"
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/simd/kernels32.h"
@@ -399,36 +400,69 @@ void FourWayMergePass(const typename Ops::Key* src_k,
 // Parallel pairwise merge passes
 // ---------------------------------------------------------------------------
 
+// Elements produced per RunPairStream::Pull when a stoppable context asks
+// for chunked pair merges: large enough to amortize the merge-path split,
+// small enough (a few ms of merging) to bound the stop latency.
+constexpr size_t kStopMergeChunkElems = size_t{1} << 19;
+
 // Merges adjacent sorted runs of length `part_len` in (keys, pays) by
 // parallel pairwise passes, ping-ponging with (alt_k, alt_p); each pass
 // dispatches one pool item per merge pair (a single lone pair still runs
 // concurrently via the pool's dynamic small-n path, each side streamed by
 // MergeRuns). Guarantees the result ends up back in (keys, pays). Shared
 // by the per-bank parallel whole-array sorts.
+//
+// A stoppable `ctx` is checked between passes, and each pair merge is
+// streamed through RunPairStream in kStopMergeChunkElems chunks with a
+// check between pulls — late passes merge two huge runs, so a claim-level
+// check alone would not bound the stop latency. On a stop the array
+// contents are unspecified (the caller discards them after re-checking
+// ctx); the buffers always end up in a defined, fully-written state.
 template <typename Ops>
 void ParallelMergePasses(typename Ops::Key* keys, typename Ops::Pay* pays,
                          typename Ops::Key* alt_k, typename Ops::Pay* alt_p,
-                         size_t n, size_t part_len, ThreadPool& pool) {
+                         size_t n, size_t part_len, ThreadPool& pool,
+                         const ExecContext* ctx = nullptr) {
   using Key = typename Ops::Key;
   using Pay = typename Ops::Pay;
+  const bool stoppable = ctx != nullptr && ctx->stoppable();
   Key* cur_k = keys;
   Pay* cur_p = pays;
   for (size_t run = part_len; run < n; run *= 2) {
+    if (stoppable && ctx->StopRequested()) break;
     const size_t num_pairs = (n + 2 * run - 1) / (2 * run);
-    pool.ParallelFor(num_pairs, [&](uint64_t begin, uint64_t end, int) {
-      for (uint64_t pair = begin; pair < end; ++pair) {
-        const size_t i = static_cast<size_t>(pair) * 2 * run;
-        const size_t mid = std::min(i + run, n);
-        const size_t stop = std::min(i + 2 * run, n);
-        if (mid >= stop) {  // lone (already sorted) run: carry over
-          std::memcpy(alt_k + i, cur_k + i, (stop - i) * sizeof(Key));
-          std::memcpy(alt_p + i, cur_p + i, (stop - i) * sizeof(Pay));
-        } else {
-          MergeRuns<Ops>(cur_k + i, cur_p + i, mid - i, cur_k + mid,
-                         cur_p + mid, stop - mid, alt_k + i, alt_p + i);
-        }
-      }
-    });
+    pool.ParallelFor(
+        num_pairs,
+        [&](uint64_t begin, uint64_t end, int) {
+          for (uint64_t pair = begin; pair < end; ++pair) {
+            const size_t i = static_cast<size_t>(pair) * 2 * run;
+            const size_t mid = std::min(i + run, n);
+            const size_t stop = std::min(i + 2 * run, n);
+            if (!stoppable) {
+              if (mid >= stop) {  // lone (already sorted) run: carry over
+                std::memcpy(alt_k + i, cur_k + i, (stop - i) * sizeof(Key));
+                std::memcpy(alt_p + i, cur_p + i, (stop - i) * sizeof(Pay));
+              } else {
+                MergeRuns<Ops>(cur_k + i, cur_p + i, mid - i, cur_k + mid,
+                               cur_p + mid, stop - mid, alt_k + i,
+                               alt_p + i);
+              }
+              continue;
+            }
+            // Chunked resumable merge (lone runs degenerate to chunked
+            // memcpy inside the stream).
+            RunPairStream<Ops> stream;
+            stream.Init(cur_k + i, cur_p + i, mid - i, cur_k + mid,
+                        cur_p + mid, stop > mid ? stop - mid : 0);
+            size_t out = i;
+            while (stream.remaining() > 0) {
+              if (ctx->StopRequested()) return;
+              out += stream.Pull(alt_k + out, alt_p + out,
+                                 kStopMergeChunkElems);
+            }
+          }
+        },
+        ctx);
     std::swap(cur_k, alt_k);
     std::swap(cur_p, alt_p);
   }

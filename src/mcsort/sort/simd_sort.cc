@@ -5,6 +5,7 @@
 
 #include "mcsort/common/bits.h"
 #include "mcsort/common/cpu_info.h"
+#include "mcsort/common/exec_context.h"
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/simd/simd.h"
@@ -200,9 +201,28 @@ void SortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
 #endif
 }
 
+namespace {
+
+// Power-of-two part count >= thread count keeps the merge tree regular. A
+// stoppable context raises the count until one part — the largest
+// uninterruptible unit of phase 1 — stays under kStopSortPartMaxRows.
+size_t PartCount(size_t n, int threads, const ExecContext* ctx) {
+  size_t parts = 1;
+  while (parts < static_cast<size_t>(threads)) parts *= 2;
+  if (ctx != nullptr && ctx->stoppable()) {
+    while ((n + parts - 1) / parts > kStopSortPartMaxRows && parts < n) {
+      parts *= 2;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
 void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches) {
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx) {
   MCSORT_CHECK(scratches.size() >=
                static_cast<size_t>(pool.num_threads()));
 #if MCSORT_HAVE_AVX2
@@ -210,20 +230,21 @@ void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
     SortPairs32(keys, oids, n, scratches[0]);
     return;
   }
-  // Power-of-two part count >= thread count keeps the merge tree regular.
-  size_t parts = 1;
-  while (parts < static_cast<size_t>(pool.num_threads())) parts *= 2;
+  const size_t parts = PartCount(n, pool.num_threads(), ctx);
   const size_t part_len = (n + parts - 1) / parts;
 
-  pool.ParallelFor(parts, [&](uint64_t begin, uint64_t end, int worker) {
-    for (size_t p = begin; p < end; ++p) {
-      const size_t lo = p * part_len;
-      if (lo >= n) break;
-      const size_t hi = std::min(lo + part_len, n);
-      SortPairs32(keys + lo, oids + lo, hi - lo,
-                  scratches[static_cast<size_t>(worker)]);
-    }
-  });
+  pool.ParallelFor(
+      parts,
+      [&](uint64_t begin, uint64_t end, int worker) {
+        for (size_t p = begin; p < end; ++p) {
+          const size_t lo = p * part_len;
+          if (lo >= n) break;
+          const size_t hi = std::min(lo + part_len, n);
+          SortPairs32(keys + lo, oids + lo, hi - lo,
+                      scratches[static_cast<size_t>(worker)]);
+        }
+      },
+      ctx);
 
   // Parallel pairwise merge passes, ping-ponging with scratches[0].
   scratches[0].u32_a.EnsureDiscard(n);
@@ -231,16 +252,18 @@ void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
   sort_internal::ParallelMergePasses<Ops32>(keys, oids,
                                             scratches[0].u32_a.data(),
                                             scratches[0].u32_b.data(), n,
-                                            part_len, pool);
+                                            part_len, pool, ctx);
 #else
   SortPairs32(keys, oids, n, scratches[0]);
   (void)pool;
+  (void)ctx;
 #endif
 }
 
 void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches) {
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx) {
   MCSORT_CHECK(scratches.size() >=
                static_cast<size_t>(pool.num_threads()));
 #if MCSORT_HAVE_AVX2
@@ -253,10 +276,19 @@ void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
   // sort never touches — run the 32-bit parallel sort, narrow back.
   scratches[0].u32_c.EnsureDiscard(n);
   uint32_t* wide = scratches[0].u32_c.data();
-  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
-    for (size_t i = begin; i < end; ++i) wide[i] = keys[i];
-  });
-  ParallelSortPairs32(wide, oids, n, pool, scratches);
+  pool.ParallelFor(
+      n,
+      [&](uint64_t begin, uint64_t end, int) {
+        for (size_t i = begin; i < end; ++i) wide[i] = keys[i];
+      },
+      ctx);
+  // A stop during the widening leaves `wide` partially written; bail
+  // before anything reads it (keys keep their original, defined values).
+  if (ctx != nullptr && ctx->StopRequested()) return;
+  ParallelSortPairs32(wide, oids, n, pool, scratches, ctx);
+  // The narrow-back is unconditional: a stop mid-sort leaves the widened
+  // copy unsorted but fully written, so the result is defined garbage the
+  // caller discards after re-checking ctx.
   pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
     for (size_t i = begin; i < end; ++i) {
       keys[i] = static_cast<uint16_t>(wide[i]);
@@ -265,12 +297,14 @@ void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
 #else
   SortPairs16(keys, oids, n, scratches[0]);
   (void)pool;
+  (void)ctx;
 #endif
 }
 
 void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches) {
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx) {
   MCSORT_CHECK(scratches.size() >=
                static_cast<size_t>(pool.num_threads()));
 #if MCSORT_HAVE_AVX2
@@ -282,25 +316,33 @@ void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
   // scratches[0].u64_c (the per-part sorts only use u64_a/u64_b).
   scratches[0].u64_c.EnsureDiscard(n);
   uint64_t* pay = scratches[0].u64_c.data();
-  pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
-    for (size_t i = begin; i < end; ++i) pay[i] = oids[i];
-  });
+  pool.ParallelFor(
+      n,
+      [&](uint64_t begin, uint64_t end, int) {
+        for (size_t i = begin; i < end; ++i) pay[i] = oids[i];
+      },
+      ctx);
+  // A stop during the widening leaves `pay` partially written; bail before
+  // anything reads it.
+  if (ctx != nullptr && ctx->StopRequested()) return;
 
-  size_t parts = 1;
-  while (parts < static_cast<size_t>(pool.num_threads())) parts *= 2;
+  const size_t parts = PartCount(n, pool.num_threads(), ctx);
   const size_t part_len = (n + parts - 1) / parts;
-  pool.ParallelFor(parts, [&](uint64_t begin, uint64_t end, int worker) {
-    SortScratch& scratch = scratches[static_cast<size_t>(worker)];
-    for (size_t p = begin; p < end; ++p) {
-      const size_t lo = p * part_len;
-      if (lo >= n) break;
-      const size_t len = std::min(lo + part_len, n) - lo;
-      scratch.u64_a.EnsureDiscard(len);
-      scratch.u64_b.EnsureDiscard(len);
-      SortCore<Ops64>(keys + lo, pay + lo, scratch.u64_a.data(),
-                      scratch.u64_b.data(), len, &FourWay64());
-    }
-  });
+  pool.ParallelFor(
+      parts,
+      [&](uint64_t begin, uint64_t end, int worker) {
+        SortScratch& scratch = scratches[static_cast<size_t>(worker)];
+        for (size_t p = begin; p < end; ++p) {
+          const size_t lo = p * part_len;
+          if (lo >= n) break;
+          const size_t len = std::min(lo + part_len, n) - lo;
+          scratch.u64_a.EnsureDiscard(len);
+          scratch.u64_b.EnsureDiscard(len);
+          SortCore<Ops64>(keys + lo, pay + lo, scratch.u64_a.data(),
+                          scratch.u64_b.data(), len, &FourWay64());
+        }
+      },
+      ctx);
 
   // The part sorts are done with scratches[0]'s ping-pong buffers; regrow
   // them to full length for the merge passes.
@@ -309,7 +351,7 @@ void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
   sort_internal::ParallelMergePasses<Ops64>(keys, pay,
                                             scratches[0].u64_a.data(),
                                             scratches[0].u64_b.data(), n,
-                                            part_len, pool);
+                                            part_len, pool, ctx);
   pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
     for (size_t i = begin; i < end; ++i) {
       oids[i] = static_cast<uint32_t>(pay[i]);
@@ -318,24 +360,26 @@ void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
 #else
   SortPairs64(keys, oids, n, scratches[0]);
   (void)pool;
+  (void)ctx;
 #endif
 }
 
 void ParallelSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
                            ThreadPool& pool,
-                           std::vector<SortScratch>& scratches) {
+                           std::vector<SortScratch>& scratches,
+                           const ExecContext* ctx) {
   switch (bank) {
     case 16:
       ParallelSortPairs16(static_cast<uint16_t*>(keys), oids, n, pool,
-                          scratches);
+                          scratches, ctx);
       break;
     case 32:
       ParallelSortPairs32(static_cast<uint32_t*>(keys), oids, n, pool,
-                          scratches);
+                          scratches, ctx);
       break;
     case 64:
       ParallelSortPairs64(static_cast<uint64_t*>(keys), oids, n, pool,
-                          scratches);
+                          scratches, ctx);
       break;
     default:
       MCSORT_CHECK(false && "unsupported bank size");

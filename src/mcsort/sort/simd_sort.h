@@ -61,7 +61,14 @@ void SortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
 void SortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
                    SortScratch& scratch);
 
-class ThreadPool;  // common/thread_pool.h
+class ExecContext;  // common/exec_context.h
+class ThreadPool;   // common/thread_pool.h
+
+// When a stoppable ExecContext is attached, the parallel sorts cap the
+// phase-1 part length at this many rows (raising the part count instead):
+// one part sort is the largest uninterruptible unit, so its size bounds
+// the cancellation latency.
+constexpr size_t kStopSortPartMaxRows = size_t{1} << 20;
 
 // Parallel whole-array sorts, one per bank: the array is split into 2^k
 // parts sorted concurrently (one SortScratch per worker), then merged by
@@ -69,21 +76,30 @@ class ThreadPool;  // common/thread_pool.h
 // worker; scratches[0] also provides the ping-pong buffers for the merge
 // passes (and the widening buffer for the 16/64-bit banks). Arrays below
 // kParallelSortMinRows fall back to the serial kernels.
+//
+// A stoppable `ctx` makes the sort cancellable at bounded latency: extra
+// (smaller) parts in phase 1 and chunked pair merges in the passes. On a
+// stop the array contents are unspecified — the caller re-checks ctx and
+// discards them. Plain contexts add no overhead.
 void ParallelSortPairs16(uint16_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches);
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx = nullptr);
 void ParallelSortPairs32(uint32_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches);
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx = nullptr);
 void ParallelSortPairs64(uint64_t* keys, uint32_t* oids, size_t n,
                          ThreadPool& pool,
-                         std::vector<SortScratch>& scratches);
+                         std::vector<SortScratch>& scratches,
+                         const ExecContext* ctx = nullptr);
 
 // Dispatches on bank size (16, 32, or 64); `keys` must point to an array
 // of the matching integer type.
 void ParallelSortPairsBank(int bank, void* keys, uint32_t* oids, size_t n,
                            ThreadPool& pool,
-                           std::vector<SortScratch>& scratches);
+                           std::vector<SortScratch>& scratches,
+                           const ExecContext* ctx = nullptr);
 
 }  // namespace mcsort
 

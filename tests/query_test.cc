@@ -39,15 +39,18 @@ Table Fig2Table() {
 TEST(QueryExecutorTest, Fig2GroupBySum) {
   // SELECT SUM(price) FROM R GROUP BY nation_name, ship_date (paper Q1).
   const Table table = Fig2Table();
-  QuerySpec spec;
-  spec.group_by = {"nation_name", "ship_date"};
-  spec.aggregates = {{AggOp::kSum, "price"}};
+  const QuerySpec spec = QuerySpecBuilder("fig2_q1")
+                             .GroupBy({"nation_name", "ship_date"})
+                             .Sum("price")
+                             .Build();
 
   for (bool massage : {false, true}) {
     ExecutorOptions options;
     options.use_massage = massage;
     QueryExecutor executor(table, options);
-    const QueryResult result = executor.Execute(spec);
+    const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
     EXPECT_EQ(result.num_groups, 4u);
     // Groups (sorted): (AUS,501) = 10+30 = 40, (AUS,1201) = 50,
     // (FRA,415) = 25, (USA,301) = 30+20 = 50.
@@ -92,14 +95,15 @@ TEST(QueryExecutorTest, GroupBySumMatchesHashReference) {
   const Table table = RandomTable(20000, 77);
   const auto reference = ReferenceGroupSum(table, {"a", "b"}, "m");
 
-  QuerySpec spec;
-  spec.group_by = {"a", "b"};
-  spec.aggregates = {{AggOp::kSum, "m"}};
+  const QuerySpec spec =
+      QuerySpecBuilder().GroupBy({"a", "b"}).Sum("m").Build();
   for (bool massage : {false, true}) {
     ExecutorOptions options;
     options.use_massage = massage;
     QueryExecutor executor(table, options);
-    const QueryResult result = executor.Execute(spec);
+    const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
     ASSERT_EQ(result.num_groups, reference.size());
     // Reconstruct (key -> sum) from the sorted output.
     std::map<std::vector<Code>, int64_t> got;
@@ -116,10 +120,12 @@ TEST(QueryExecutorTest, GroupBySumMatchesHashReference) {
 
 TEST(QueryExecutorTest, FilteredGroupByMatchesReference) {
   const Table table = RandomTable(20000, 78);
-  QuerySpec spec;
-  spec.filters = {{"c", CompareOp::kLess, 30000}};
-  spec.group_by = {"a", "b"};
-  spec.aggregates = {{AggOp::kSum, "m"}, {AggOp::kCount, ""}};
+  const QuerySpec spec = QuerySpecBuilder()
+                             .Filter("c", CompareOp::kLess, 30000)
+                             .GroupBy({"a", "b"})
+                             .Sum("m")
+                             .Count()
+                             .Build();
 
   // Scalar reference over the filtered rows.
   std::map<std::vector<Code>, std::pair<int64_t, int64_t>> reference;
@@ -133,7 +139,9 @@ TEST(QueryExecutorTest, FilteredGroupByMatchesReference) {
 
   ExecutorOptions options;
   QueryExecutor executor(table, options);
-  const QueryResult result = executor.Execute(spec);
+  const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
   ASSERT_EQ(result.num_groups, reference.size());
   const auto& groups = result.sort_profile.groups;
   for (size_t g = 0; g < groups.count(); ++g) {
@@ -149,15 +157,18 @@ TEST(QueryExecutorTest, FilteredGroupByMatchesReference) {
 
 TEST(QueryExecutorTest, OrderByProducesSortedOutput) {
   const Table table = RandomTable(5000, 79);
-  QuerySpec spec;
-  spec.order_by = {{"a", SortOrder::kAscending},
-                   {"b", SortOrder::kDescending},
-                   {"c", SortOrder::kAscending}};
+  const QuerySpec spec = QuerySpecBuilder()
+                             .OrderBy("a")
+                             .OrderBy("b", SortOrder::kDescending)
+                             .OrderBy("c")
+                             .Build();
   for (bool massage : {false, true}) {
     ExecutorOptions options;
     options.use_massage = massage;
     QueryExecutor executor(table, options);
-    const QueryResult result = executor.Execute(spec);
+    const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
     ASSERT_EQ(result.result_oids.size(), table.row_count());
     for (size_t r = 1; r < result.result_oids.size(); ++r) {
       const Oid x = result.result_oids[r - 1];
@@ -175,14 +186,15 @@ TEST(QueryExecutorTest, OrderByProducesSortedOutput) {
 
 TEST(QueryExecutorTest, WindowRankMatchesReference) {
   const Table table = RandomTable(8000, 80);
-  QuerySpec spec;
-  spec.partition_by = {"a", "b"};
-  spec.window_order_column = "m";
+  const QuerySpec spec =
+      QuerySpecBuilder().PartitionBy({"a", "b"}).WindowOrder("m").Build();
   for (bool massage : {false, true}) {
     ExecutorOptions options;
     options.use_massage = massage;
     QueryExecutor executor(table, options);
-    const QueryResult result = executor.Execute(spec);
+    const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
     ASSERT_EQ(result.ranks.size(), table.row_count());
     // Reference rank: 1 + #rows in the partition with smaller order key.
     for (size_t r = 0; r < result.result_oids.size(); ++r) {
@@ -206,14 +218,17 @@ TEST(QueryExecutorTest, WindowRankMatchesReference) {
 
 TEST(QueryExecutorTest, ResultOrderByAggregate) {
   const Table table = RandomTable(10000, 81);
-  QuerySpec spec;
-  spec.group_by = {"a"};
-  spec.aggregates = {{AggOp::kCount, ""}};
-  spec.result_order = {{"agg:0", SortOrder::kDescending},
-                       {"a", SortOrder::kAscending}};
+  const QuerySpec spec = QuerySpecBuilder()
+                             .GroupBy({"a"})
+                             .Count()
+                             .ResultOrder("agg:0", SortOrder::kDescending)
+                             .ResultOrder("a")
+                             .Build();
   ExecutorOptions options;
   QueryExecutor executor(table, options);
-  const QueryResult result = executor.Execute(spec);
+  const ExecResult run = executor.Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(run.ok());
+    const QueryResult& result = run.result;
   ASSERT_EQ(result.result_group_order.size(), result.num_groups);
   // Counts must be non-increasing in result order.
   const auto& counts = result.aggregate_values[0];
@@ -225,16 +240,19 @@ TEST(QueryExecutorTest, ResultOrderByAggregate) {
 
 TEST(QueryExecutorTest, MassageOnOffSameRanksAndGroups) {
   const Table table = RandomTable(15000, 82);
-  QuerySpec spec;
-  spec.partition_by = {"b"};
-  spec.window_order_column = "c";
+  const QuerySpec spec =
+      QuerySpecBuilder().PartitionBy({"b"}).WindowOrder("c").Build();
   ExecutorOptions on, off;
   on.use_massage = true;
   off.use_massage = false;
   QueryExecutor exec_on(table, on);
   QueryExecutor exec_off(table, off);
-  const QueryResult r_on = exec_on.Execute(spec);
-  const QueryResult r_off = exec_off.Execute(spec);
+  const ExecResult run_on = exec_on.Execute(spec, ExecContext::Default());
+  ASSERT_TRUE(run_on.ok());
+  const QueryResult& r_on = run_on.result;
+  const ExecResult run_off = exec_off.Execute(spec, ExecContext::Default());
+  ASSERT_TRUE(run_off.ok());
+  const QueryResult& r_off = run_off.result;
   EXPECT_EQ(r_on.num_groups, r_off.num_groups);
   // Rank multisets per row oid must match exactly.
   std::vector<uint32_t> ranks_on(table.row_count()), ranks_off(table.row_count());

@@ -46,23 +46,27 @@ Table RandomTable(size_t n, uint64_t seed) {
 
 // The mixed workload every stress session runs.
 std::vector<QuerySpec> StressSpecs() {
-  std::vector<QuerySpec> specs(5);
-  specs[0].group_by = {"a", "b"};
-  specs[0].aggregates = {{AggOp::kSum, "m"}, {AggOp::kCount, ""}};
-  specs[1].order_by = {{"a", SortOrder::kAscending},
-                       {"b", SortOrder::kDescending},
-                       {"c", SortOrder::kAscending}};
-  specs[2].partition_by = {"a", "b"};
-  specs[2].window_order_column = "m";
-  // Unique tie-breaker ("a" is the group key) keeps the result order total.
-  specs[3].group_by = {"a"};
-  specs[3].aggregates = {{AggOp::kCount, ""}};
-  specs[3].result_order = {{"agg:0", SortOrder::kDescending},
-                           {"a", SortOrder::kAscending}};
-  specs[4].filters = {{"c", CompareOp::kLess, 30000}};
-  specs[4].group_by = {"a", "b"};
-  specs[4].aggregates = {{AggOp::kSum, "m"}};
-  return specs;
+  return {
+      QuerySpecBuilder().GroupBy({"a", "b"}).Sum("m").Count().Build(),
+      QuerySpecBuilder()
+          .OrderBy("a")
+          .OrderBy("b", SortOrder::kDescending)
+          .OrderBy("c")
+          .Build(),
+      QuerySpecBuilder().PartitionBy({"a", "b"}).WindowOrder("m").Build(),
+      // Unique tie-breaker ("a" is the group key) keeps the order total.
+      QuerySpecBuilder()
+          .GroupBy({"a"})
+          .Count()
+          .ResultOrder("agg:0", SortOrder::kDescending)
+          .ResultOrder("a")
+          .Build(),
+      QuerySpecBuilder()
+          .Filter("c", CompareOp::kLess, 30000)
+          .GroupBy({"a", "b"})
+          .Sum("m")
+          .Build(),
+  };
 }
 
 // Exact equality on everything a valid plan determines (Lemma 1). Oids may
@@ -117,7 +121,10 @@ TEST(QueryServiceTest, MultiSessionStressMatchesSerialExecution) {
   QueryExecutor reference(table, serial);
   std::vector<QueryResult> expected;
   expected.reserve(specs.size());
-  for (const QuerySpec& spec : specs) expected.push_back(reference.Execute(spec));
+  for (const QuerySpec& spec : specs) {
+    expected.push_back(
+        reference.Execute(spec, ExecContext::Default()).result);
+  }
 
   ServiceOptions options;
   options.threads = 4;
@@ -134,7 +141,10 @@ TEST(QueryServiceTest, MultiSessionStressMatchesSerialExecution) {
       auto session = service.OpenSession(table);
       for (int iter = 0; iter < kIters; ++iter) {
         for (size_t i = 0; i < specs.size(); ++i) {
-          const QueryResult result = session->Execute(specs[i]);
+          const ExecResult run =
+              session->Execute(specs[i], ExecContext::Default());
+          ASSERT_TRUE(run.ok());
+          const QueryResult& result = run.result;
           char label[64];
           std::snprintf(label, sizeof(label), "session=%d iter=%d spec=%zu",
                         s, iter, i);
@@ -172,13 +182,14 @@ TEST(QueryServiceTest, RepeatedQueryHitsPlanCache) {
   QueryService service(options);
   auto session = service.OpenSession(table);
 
-  QuerySpec spec;
-  spec.group_by = {"a", "b", "c"};
-  spec.aggregates = {{AggOp::kSum, "m"}};
+  const QuerySpec spec =
+      QuerySpecBuilder().GroupBy({"a", "b", "c"}).Sum("m").Build();
 
   constexpr int kRuns = 20;
   for (int run = 0; run < kRuns; ++run) {
-    const QueryResult result = session->Execute(spec);
+    const ExecResult exec = session->Execute(spec, ExecContext::Default());
+    ASSERT_TRUE(exec.ok());
+    const QueryResult& result = exec.result;
     EXPECT_EQ(session->last_plan_cached(), run > 0) << "run " << run;
     if (run > 0) {
       // Exact reuse skips ROGA entirely.
@@ -197,10 +208,11 @@ TEST(QueryServiceTest, MassageDisabledBypassesCache) {
   options.use_massage = false;
   QueryService service(options);
   auto session = service.OpenSession(table);
-  QuerySpec spec;
-  spec.group_by = {"a", "b"};
-  spec.aggregates = {{AggOp::kCount, ""}};
-  const QueryResult result = session->Execute(spec);
+  const QuerySpec spec =
+      QuerySpecBuilder().GroupBy({"a", "b"}).Count().Build();
+  const ExecResult run = session->Execute(spec, ExecContext::Default());
+  ASSERT_TRUE(run.ok());
+  const QueryResult& result = run.result;
   EXPECT_GT(result.num_groups, 0u);
   EXPECT_FALSE(session->last_plan_cached());
   const PlanCache::Stats cache = service.plan_cache().GetStats();
@@ -211,11 +223,9 @@ TEST(QueryServiceTest, DumpMetricsExposesCacheAdmissionAndLatency) {
   const Table table = RandomTable(5000, 94);
   QueryService service(ServiceOptions{});
   auto session = service.OpenSession(table);
-  QuerySpec spec;
-  spec.group_by = {"a"};
-  spec.aggregates = {{AggOp::kCount, ""}};
-  session->Execute(spec);
-  session->Execute(spec);
+  const QuerySpec spec = QuerySpecBuilder().GroupBy({"a"}).Count().Build();
+  session->Execute(spec, ExecContext::Default());
+  session->Execute(spec, ExecContext::Default());
 
   const std::string dump = service.DumpMetrics();
   for (const char* key :
@@ -231,9 +241,9 @@ TEST(QueryServiceTest, DumpMetricsExposesCacheAdmissionAndLatency) {
 TEST(QueryServiceTest, EstimateScratchBytesGrowsWithAttrs) {
   const Table table = RandomTable(1000, 95);
   QueryExecutor executor(table, {});
-  QuerySpec two, three;
-  two.group_by = {"a", "b"};
-  three.group_by = {"a", "b", "c"};
+  const QuerySpec two = QuerySpecBuilder().GroupBy({"a", "b"}).Build();
+  const QuerySpec three =
+      QuerySpecBuilder().GroupBy({"a", "b", "c"}).Build();
   const size_t bytes2 =
       EstimateScratchBytes(table, executor.ResolveSortAttrs(two));
   const size_t bytes3 =
@@ -315,6 +325,84 @@ TEST(AdmissionControllerTest, WithinBudgetQueriesOverlap) {
   EXPECT_TRUE(t1.admitted());
   EXPECT_TRUE(t2.admitted());
   EXPECT_EQ(controller.GetStats().inflight, 2);
+}
+
+TEST(AdmissionControllerTest, CancelledWaiterAbandonsWithoutBlockingQueue) {
+  // Regression: the FIFO used to be a strict served-ticket counter, so a
+  // waiter that gave up (cancelled mid-queue) would wedge everyone behind
+  // it. The wait set must hand headship to the next arrival instead.
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  AdmissionController controller(options);
+
+  AdmissionController::Ticket holder = controller.Admit(10);
+  ASSERT_TRUE(holder.admitted());
+
+  CancellationSource cancel;
+  ExecContext cancelled_ctx;
+  cancelled_ctx.WithToken(cancel.token());
+  cancel.Cancel();  // already stopped: the wait must abandon promptly
+  AdmissionController::Ticket abandoned =
+      controller.Admit(10, cancelled_ctx);
+  EXPECT_FALSE(abandoned.admitted());
+  EXPECT_EQ(abandoned.status().code, ExecCode::kCancelled);
+
+  // The queue behind the abandoned waiter still drains.
+  std::atomic<bool> late_admitted{false};
+  std::thread late([&] {
+    AdmissionController::Ticket ticket = controller.Admit(10);
+    late_admitted.store(ticket.admitted(), std::memory_order_release);
+  });
+  holder.Release();
+  late.join();
+  EXPECT_TRUE(late_admitted.load(std::memory_order_acquire));
+  const AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.abandoned_total, 1u);
+  EXPECT_EQ(stats.queue_depth, 0);
+}
+
+TEST(AdmissionControllerTest, DeadlineExpiredWaiterAbandons) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  AdmissionController controller(options);
+  AdmissionController::Ticket holder = controller.Admit(10);
+
+  ExecContext ctx;
+  ctx.WithDeadlineAfter(0.01);
+  AdmissionController::Ticket ticket = controller.Admit(10, ctx);
+  EXPECT_FALSE(ticket.admitted());
+  EXPECT_EQ(ticket.status().code, ExecCode::kDeadlineExceeded);
+}
+
+TEST(QueryServiceTest, TicketReleasedWhenExecutionFails) {
+  // Regression for the error-path leak: an execution that unwinds with a
+  // non-ok status must still free its admission slot (RAII ticket), or the
+  // service wedges after max_inflight failures.
+  const Table table = RandomTable(20000, 96);
+  ServiceOptions options;
+  options.admission.max_inflight = 1;
+  QueryService service(options);
+  auto session = service.OpenSession(table);
+  const QuerySpec spec =
+      QuerySpecBuilder().GroupBy({"a", "b"}).Sum("m").Build();
+
+  CancellationSource cancel;
+  cancel.Cancel();
+  ExecContext cancelled_ctx;
+  cancelled_ctx.WithToken(cancel.token());
+  for (int i = 0; i < 3; ++i) {  // > max_inflight: leaks would deadlock
+    const ExecResult failed = session->Execute(spec, cancelled_ctx);
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status.code, ExecCode::kCancelled);
+  }
+  EXPECT_EQ(service.admission().GetStats().inflight, 0);
+
+  // The slot is actually reusable: a clean execution still succeeds.
+  const ExecResult run = session->Execute(spec, ExecContext::Default());
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run.result.num_groups, 0u);
+  EXPECT_GE(service.metrics().counter("exec.cancelled")->value(), 3u);
+  EXPECT_EQ(service.metrics().counter("exec.ok")->value(), 1u);
 }
 
 // --------------------------------------------------------------------------

@@ -114,8 +114,10 @@ TEST_P(AllWorkloadsRun, MassageOnOffAgree) {
     off.use_massage = false;
     QueryExecutor exec_on(w.table_for(q), on);
     QueryExecutor exec_off(w.table_for(q), off);
-    const QueryResult r_on = exec_on.Execute(q.spec);
-    const QueryResult r_off = exec_off.Execute(q.spec);
+    const QueryResult r_on =
+        exec_on.Execute(q.spec, ExecContext::Default()).result;
+    const QueryResult r_off =
+        exec_off.Execute(q.spec, ExecContext::Default()).result;
     EXPECT_EQ(r_on.filtered_rows, r_off.filtered_rows) << w.name << " " << q.id;
     EXPECT_EQ(r_on.num_groups, r_off.num_groups) << w.name << " " << q.id;
     ASSERT_EQ(r_on.aggregate_values.size(), r_off.aggregate_values.size());
