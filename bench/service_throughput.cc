@@ -14,7 +14,9 @@
 // fig12_rho sweeps), MCSORT_SESSIONS (comma-free single override),
 // MCSORT_CALIBRATE=0 to skip calibration.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -78,23 +80,40 @@ struct RunResult {
 };
 
 // Replays the workload `reps` times on each of `sessions` client threads.
+// Session opening and the per-thread spec sequences are prepared before
+// the clock starts (released by a barrier), so `seconds` measures only the
+// Execute loop — not session setup or spec staging.
 RunResult Replay(QueryService* service, const Table& table, int sessions,
                  int reps, const std::vector<QuerySpec>& specs) {
-  Timer timer;
+  std::vector<std::unique_ptr<QuerySession>> handles;
+  std::vector<std::vector<QuerySpec>> staged(sessions);
+  handles.reserve(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    handles.push_back(service->OpenSession(table));
+    // Stagger the starting spec per session so distinct shapes overlap.
+    for (size_t i = 0; i < specs.size(); ++i) {
+      staged[s].push_back(specs[(i + s) % specs.size()]);
+    }
+  }
+
+  std::atomic<bool> go{false};
   std::vector<std::thread> clients;
   clients.reserve(sessions);
   for (int s = 0; s < sessions; ++s) {
     clients.emplace_back([&, s] {
-      auto session = service->OpenSession(table);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      QuerySession* session = handles[s].get();
       for (int rep = 0; rep < reps; ++rep) {
-        // Stagger the starting spec per session so distinct shapes overlap.
-        for (size_t i = 0; i < specs.size(); ++i) {
-          session->Execute(specs[(i + s) % specs.size()],
-                           ExecContext::Default());
+        for (const QuerySpec& spec : staged[s]) {
+          session->Execute(spec, ExecContext::Default());
         }
       }
     });
   }
+  Timer timer;
+  go.store(true, std::memory_order_release);
   for (std::thread& t : clients) t.join();
   RunResult result;
   result.seconds = timer.Seconds();

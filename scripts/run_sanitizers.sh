@@ -13,8 +13,9 @@ cd "$(dirname "$0")/.."
 prefix="${1:-build}"
 
 # Tests that drive the parallel executor (plus the serial equivalents they
-# compare against) and the concurrent query-service layer (shared plan
-# cache, admission control, multi-session stress).
+# compare against), the concurrent query-service layer (shared plan cache,
+# admission control, multi-session stress), and the network front-end
+# (epoll loop vs. executor workers, concurrent histogram recording).
 tests=(
   parallel_executor_test
   common_test
@@ -24,6 +25,8 @@ tests=(
   plan_cache_test
   service_test
   exec_context_test
+  metrics_test
+  net_test
 )
 
 run_flavor() {

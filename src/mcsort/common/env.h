@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 
 namespace mcsort {
 
@@ -23,6 +24,21 @@ inline double EnvDouble(const char* name, double fallback) {
   char* end = nullptr;
   const double v = std::strtod(env, &end);
   return end != env ? v : fallback;
+}
+
+inline std::string EnvStr(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' ? env : fallback;
+}
+
+// Network front-end knobs, shared by ServerOptions::FromEnv, the client
+// tools, and the net benches so every binary reads the same spellings:
+//   MCSORT_HOST        bind/connect address (default 127.0.0.1)
+//   MCSORT_PORT        TCP port (server: 0 = ephemeral)
+//   MCSORT_MAX_CONNS   connection cap before typed BUSY rejects
+inline std::string HostFromEnv() { return EnvStr("MCSORT_HOST", "127.0.0.1"); }
+inline uint16_t PortFromEnv(uint16_t fallback) {
+  return static_cast<uint16_t>(EnvU64("MCSORT_PORT", fallback));
 }
 
 // The ROGA time threshold: MCSORT_RHO overrides `fallback` (Appendix C's

@@ -73,17 +73,6 @@ SortInstanceStats QueryExecutor::InstanceStats(const QuerySpec& spec,
   return stats;
 }
 
-QueryResult QueryExecutor::Execute(const QuerySpec& spec) {
-  return Execute(spec, ExecContext::Default()).result;
-}
-
-QueryResult QueryExecutor::Execute(const QuerySpec& spec,
-                                   const PlanHint* hint) {
-  ExecContext ctx;
-  ctx.WithHint(hint);
-  return Execute(spec, ctx).result;
-}
-
 size_t QueryExecutor::EstimatePlanScratchBytes(const MassagePlan& plan,
                                                uint64_t rows) {
   // Per-row high-water mark: the oid permutation plus its merge scratch,

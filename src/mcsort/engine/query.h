@@ -241,12 +241,6 @@ class QueryExecutor {
   // retried — see QueryResult::degraded.
   ExecResult Execute(const QuerySpec& spec, const ExecContext& ctx);
 
-  [[deprecated("use Execute(spec, ExecContext) — removed next PR")]]
-  QueryResult Execute(const QuerySpec& spec);
-  // Execute with external planning context (nullptr behaves like above).
-  [[deprecated("use Execute(spec, ExecContext::Default().WithHint(hint))")]]
-  QueryResult Execute(const QuerySpec& spec, const PlanHint* hint);
-
   // Scratch high-water estimate (bytes) for sorting `rows` rows under
   // `plan`: the oid permutation + merge scratch plus the widest round's
   // massage/gather/widen buffers. This is the quantity compared against

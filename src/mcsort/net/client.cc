@@ -1,0 +1,335 @@
+#include "mcsort/net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace mcsort {
+namespace net {
+
+namespace {
+
+void SetSocketTimeout(int fd, int which, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                               1e6);
+  setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+// Maps the wire error taxonomy back onto the engine's typed status, so
+// callers can treat a remote cancellation/deadline exactly like a local
+// one. Transport-ish codes collapse to kResourceExhausted-flavoured
+// failure via RemoteResult::error instead.
+ExecStatus StatusFromError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return ExecStatus::Ok();
+    case ErrorCode::kCancelled:
+      return ExecStatus::Cancelled("cancelled (remote)");
+    case ErrorCode::kDeadlineExceeded:
+      return ExecStatus::DeadlineExceeded("deadline exceeded (remote)");
+    case ErrorCode::kResourceExhausted:
+      return ExecStatus::ResourceExhausted("resource exhausted (remote)");
+    default:
+      // Not an execution outcome; leave status ok and let callers consult
+      // RemoteResult::error.
+      return ExecStatus::Ok();
+  }
+}
+
+// Blocking connect with a timeout: non-blocking connect + poll(POLLOUT),
+// then back to blocking mode.
+bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t len,
+                        double seconds, std::string* error) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error != nullptr) *error = std::string("connect: ") + strerror(errno);
+    return false;
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int timeout_ms =
+        seconds > 0 ? static_cast<int>(seconds * 1e3) : -1;
+    do {
+      rc = poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      if (error != nullptr) {
+        *error = rc == 0 ? "connect: timed out"
+                         : std::string("connect poll: ") + strerror(errno);
+      }
+      return false;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+    if (so_error != 0) {
+      if (error != nullptr) {
+        *error = std::string("connect: ") + strerror(so_error);
+      }
+      return false;
+    }
+  }
+  fcntl(fd, F_SETFL, flags);
+  return true;
+}
+
+}  // namespace
+
+McsortClient::McsortClient(const ClientOptions& options) : options_(options) {}
+
+McsortClient::~McsortClient() { Close(); }
+
+void McsortClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler();
+  inflight_query_.store(0, std::memory_order_relaxed);
+}
+
+void McsortClient::FailTransport() { Close(); }
+
+bool McsortClient::Connect(std::string* error) {
+  Close();
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host address: " + options_.host;
+    return false;
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (!ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                          options_.connect_timeout_seconds, error)) {
+    ::close(fd);
+    return false;
+  }
+
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetSocketTimeout(fd, SO_RCVTIMEO, options_.io_timeout_seconds);
+  SetSocketTimeout(fd, SO_SNDTIMEO, options_.io_timeout_seconds);
+  fd_ = fd;
+
+  // HELLO handshake.
+  HelloRequest hello;
+  hello.version = kProtocolVersion;
+  hello.client_name = options_.client_name;
+  const uint64_t id = NextRequestId();
+  if (!SendFrame(FrameType::kHello, id, EncodeHello(hello))) {
+    if (error != nullptr) *error = "hello: send failed";
+    FailTransport();
+    return false;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame)) {
+    if (error != nullptr) *error = "hello: no reply";
+    FailTransport();
+    return false;
+  }
+  if (frame.type() == FrameType::kError) {
+    ErrorInfo info;
+    DecodeError(frame.payload, &info);
+    if (error != nullptr) {
+      *error = std::string("hello rejected: ") + ErrorCodeName(info.code) +
+               (info.detail.empty() ? "" : ": " + info.detail);
+    }
+    FailTransport();
+    return false;
+  }
+  if (frame.type() != FrameType::kHelloAck ||
+      !DecodeHelloReply(frame.payload, &hello_)) {
+    if (error != nullptr) *error = "hello: malformed reply";
+    FailTransport();
+    return false;
+  }
+  return true;
+}
+
+bool McsortClient::SendFrame(FrameType type, uint64_t request_id,
+                             const std::string& payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return false;
+  return SendAll(fd_, SealFrame(type, 0, request_id, payload));
+}
+
+bool McsortClient::ReadReply(uint64_t request_id, Frame* frame) {
+  for (;;) {
+    ErrorCode code = ErrorCode::kNone;
+    bool fatal = false;
+    const auto next = RecvFrame(fd_, &assembler_, frame, &code, &fatal);
+    if (next != FrameAssembler::Next::kFrame) return false;
+    if (frame->header.request_id == request_id) return true;
+    // A stale reply from a request this client abandoned (e.g. the tail of
+    // a cancelled query's result stream) — discard and keep reading.
+  }
+}
+
+RemoteResult McsortClient::Query(const QuerySpec& spec,
+                                 const QueryCallOptions& options) {
+  RemoteResult out;
+  if (fd_ < 0) {
+    out.error = ErrorCode::kInternal;
+    out.error_detail = "not connected";
+    return out;
+  }
+
+  QueryEnvelope envelope;
+  envelope.table = options.table;
+  if (options.deadline_seconds > 0) {
+    envelope.deadline_micros =
+        static_cast<uint64_t>(options.deadline_seconds * 1e6);
+    if (envelope.deadline_micros == 0) envelope.deadline_micros = 1;
+  }
+  envelope.spec = spec;
+
+  const uint64_t id = NextRequestId();
+  inflight_query_.store(id, std::memory_order_release);
+  if (!SendFrame(FrameType::kQuery, id, EncodeQuery(envelope))) {
+    inflight_query_.store(0, std::memory_order_release);
+    out.error_detail = "send failed";
+    FailTransport();
+    return out;
+  }
+
+  ResultAssembler result;
+  Frame frame;
+  for (;;) {
+    if (!ReadReply(id, &frame)) {
+      inflight_query_.store(0, std::memory_order_release);
+      out.error_detail = "connection lost mid-reply";
+      FailTransport();
+      return out;
+    }
+    if (frame.type() == FrameType::kError) {
+      inflight_query_.store(0, std::memory_order_release);
+      ErrorInfo info;
+      if (!DecodeError(frame.payload, &info)) {
+        out.error_detail = "malformed error frame";
+        FailTransport();
+        return out;
+      }
+      out.transport_ok = true;
+      out.error = info.code;
+      out.error_detail = info.detail;
+      out.status = StatusFromError(info.code);
+      return out;
+    }
+    if (frame.type() != FrameType::kResult) {
+      // Unrelated frame type with our id — protocol confusion; bail.
+      inflight_query_.store(0, std::memory_order_release);
+      out.error_detail = "unexpected frame type in result stream";
+      FailTransport();
+      return out;
+    }
+    if (!result.Consume(frame.payload, frame.last_chunk())) {
+      inflight_query_.store(0, std::memory_order_release);
+      out.error_detail = "malformed result chunk";
+      FailTransport();
+      return out;
+    }
+    if (result.done()) break;
+  }
+
+  inflight_query_.store(0, std::memory_order_release);
+  out.transport_ok = true;
+  out.error = ErrorCode::kNone;
+  out.status = ExecStatus::Ok();
+  ResultPayload& payload = result.result();
+  out.summary = payload.summary;
+  out.aggregate_values = std::move(payload.aggregate_values);
+  out.aggregate_avg = std::move(payload.aggregate_avg);
+  out.ranks = std::move(payload.ranks);
+  out.result_oids = std::move(payload.result_oids);
+  out.result_group_order = std::move(payload.result_group_order);
+  return out;
+}
+
+bool McsortClient::Cancel() {
+  const uint64_t id = inflight_query_.load(std::memory_order_acquire);
+  if (id == 0) return false;
+  // CANCEL is fire-and-forget: the blocked Query() observes the outcome as
+  // ERROR kCancelled (or a completed result, if it raced and won).
+  return SendFrame(FrameType::kCancel, id, std::string());
+}
+
+bool McsortClient::Ping(double* rtt_seconds) {
+  if (fd_ < 0) return false;
+  const uint64_t id = NextRequestId();
+  const auto start = std::chrono::steady_clock::now();
+  if (!SendFrame(FrameType::kPing, id, "ping")) {
+    FailTransport();
+    return false;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame) || frame.type() != FrameType::kPong) {
+    FailTransport();
+    return false;
+  }
+  if (rtt_seconds != nullptr) {
+    *rtt_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return true;
+}
+
+bool McsortClient::GetMetrics(std::string* text) {
+  if (fd_ < 0) return false;
+  const uint64_t id = NextRequestId();
+  if (!SendFrame(FrameType::kMetricsRequest, id, std::string())) {
+    FailTransport();
+    return false;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame) || frame.type() != FrameType::kMetricsReply) {
+    FailTransport();
+    return false;
+  }
+  if (text != nullptr) *text = frame.payload;
+  return true;
+}
+
+bool McsortClient::GetSchema(SchemaReply* schema) {
+  if (fd_ < 0) return false;
+  const uint64_t id = NextRequestId();
+  if (!SendFrame(FrameType::kSchemaRequest, id, std::string())) {
+    FailTransport();
+    return false;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame) || frame.type() != FrameType::kSchemaReply) {
+    FailTransport();
+    return false;
+  }
+  return schema == nullptr || DecodeSchemaReply(frame.payload, schema);
+}
+
+}  // namespace net
+}  // namespace mcsort

@@ -1,0 +1,124 @@
+// McsortClient — the blocking C++ client library for the mcsort wire
+// protocol. One client owns one TCP connection; Query/Ping/GetMetrics/
+// GetSchema are synchronous request/response calls made from a single
+// thread. The one sanctioned cross-thread call is Cancel(): it writes a
+// CANCEL frame for the in-flight query from any thread (sends are
+// serialized by an internal mutex), and the blocked Query() then returns
+// with status kCancelled as soon as the server's executor unwinds.
+//
+// Used by bench/net_throughput.cc, examples/remote_query.cpp, and
+// tools/net_probe.cc.
+#ifndef MCSORT_NET_CLIENT_H_
+#define MCSORT_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "mcsort/common/exec_context.h"
+#include "mcsort/engine/query.h"
+#include "mcsort/net/frame_io.h"
+#include "mcsort/net/protocol.h"
+
+namespace mcsort {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_seconds = 5;
+  // Receive/send timeout per socket operation. Query() waits up to this
+  // long *between* frames, not for the whole result, so slow queries only
+  // need the server's per-chunk cadence to beat it.
+  double io_timeout_seconds = 30;
+  std::string client_name = "mcsort-client";
+};
+
+struct QueryCallOptions {
+  // Relative deadline shipped in the QUERY header; 0 = none. The server
+  // maps it onto the ExecContext deadline (admission wait + execution).
+  double deadline_seconds = 0;
+  std::string table;  // empty = server default
+};
+
+// Outcome of one remote query. `transport_ok` distinguishes "the wire
+// failed" (connection lost, garbled reply) from "the server answered" —
+// when it is true, `error`/`status` carry the server's typed verdict.
+struct RemoteResult {
+  bool transport_ok = false;
+  ErrorCode error = ErrorCode::kNone;  // kNone on success
+  std::string error_detail;
+  ExecStatus status;  // execution outcome mapped back from the wire
+
+  ResultSummary summary;
+  std::vector<std::vector<int64_t>> aggregate_values;
+  std::vector<double> aggregate_avg;
+  std::vector<uint32_t> ranks;
+  std::vector<uint32_t> result_oids;
+  std::vector<uint32_t> result_group_order;
+
+  bool ok() const {
+    return transport_ok && error == ErrorCode::kNone && status.ok();
+  }
+};
+
+class McsortClient {
+ public:
+  explicit McsortClient(const ClientOptions& options);
+  ~McsortClient();
+
+  McsortClient(const McsortClient&) = delete;
+  McsortClient& operator=(const McsortClient&) = delete;
+
+  // Connects and performs the HELLO handshake. False (with *error filled)
+  // on failure; the client may retry Connect.
+  bool Connect(std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // The server's HELLO_ACK (valid after a successful Connect).
+  const HelloReply& hello() const { return hello_; }
+
+  // Executes `spec` remotely and reassembles the chunked result. On a
+  // transport failure the connection is closed (call Connect again).
+  RemoteResult Query(const QuerySpec& spec,
+                     const QueryCallOptions& options = {});
+
+  // Cancels the Query currently blocked in another thread. Returns false
+  // when no query is in flight or the frame could not be sent.
+  bool Cancel();
+
+  // Round-trip liveness probe; fills *rtt_seconds when non-null.
+  bool Ping(double* rtt_seconds = nullptr);
+
+  // Fetches the server's text metrics dump (service + net.* counters).
+  bool GetMetrics(std::string* text);
+
+  // Fetches the table catalog, so clients need not hardcode columns.
+  bool GetSchema(SchemaReply* schema);
+
+ private:
+  uint64_t NextRequestId() {
+    return next_request_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool SendFrame(FrameType type, uint64_t request_id,
+                 const std::string& payload);
+  // Reads frames until one with `request_id` arrives (stale replies from
+  // abandoned requests are discarded). False on transport failure.
+  bool ReadReply(uint64_t request_id, Frame* frame);
+  void FailTransport();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  HelloReply hello_;
+  std::mutex send_mu_;
+  std::atomic<uint64_t> next_request_{1};
+  std::atomic<uint64_t> inflight_query_{0};  // request id Cancel targets
+};
+
+}  // namespace net
+}  // namespace mcsort
+
+#endif  // MCSORT_NET_CLIENT_H_

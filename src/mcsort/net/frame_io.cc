@@ -1,0 +1,93 @@
+#include "mcsort/net/frame_io.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace mcsort {
+namespace net {
+
+FrameAssembler::Next FrameAssembler::Pull(Frame* frame, ErrorCode* error,
+                                          bool* fatal) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // don't grow the buffer without bound.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 1 << 20)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buffer_.size() - pos_ < kHeaderSize) return Next::kNeedMore;
+
+  const FrameHeader header = DecodeHeader(
+      reinterpret_cast<const uint8_t*>(buffer_.data() + pos_));
+  if (header.magic != kMagic) {
+    *error = ErrorCode::kMalformedFrame;
+    *fatal = true;
+    return Next::kBadFrame;
+  }
+  if (header.version != kProtocolVersion) {
+    *error = ErrorCode::kUnsupportedVersion;
+    *fatal = true;
+    return Next::kBadFrame;
+  }
+  if (header.payload_len > max_payload_) {
+    *error = ErrorCode::kOversizedFrame;
+    *fatal = true;
+    return Next::kBadFrame;
+  }
+  if (buffer_.size() - pos_ < kHeaderSize + header.payload_len) {
+    return Next::kNeedMore;
+  }
+  const char* payload = buffer_.data() + pos_ + kHeaderSize;
+  const uint32_t crc = Crc32c(payload, header.payload_len);
+  pos_ += kHeaderSize + header.payload_len;  // frame consumed either way
+  if (crc != header.payload_crc) {
+    *error = ErrorCode::kCrcMismatch;
+    *fatal = false;  // framing is intact; only this payload is corrupt
+    return Next::kBadFrame;
+  }
+  frame->header = header;
+  frame->payload.assign(payload, header.payload_len);
+  return Next::kFrame;
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (written == 0) return false;
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
+bool RecvSome(int fd, std::string* buf) {
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF
+    buf->append(chunk, static_cast<size_t>(got));
+    return true;
+  }
+}
+
+FrameAssembler::Next RecvFrame(int fd, FrameAssembler* assembler,
+                               Frame* frame, ErrorCode* error, bool* fatal) {
+  for (;;) {
+    const FrameAssembler::Next next = assembler->Pull(frame, error, fatal);
+    if (next != FrameAssembler::Next::kNeedMore) return next;
+    std::string bytes;
+    if (!RecvSome(fd, &bytes)) return FrameAssembler::Next::kNeedMore;
+    assembler->Append(bytes.data(), bytes.size());
+  }
+}
+
+}  // namespace net
+}  // namespace mcsort

@@ -1,0 +1,79 @@
+// Frame transport: turning a TCP byte stream back into frames.
+//
+// FrameAssembler is the incremental decoder both ends share: append raw
+// socket bytes, pull complete frames. It distinguishes recoverable frame
+// errors (CRC mismatch on a well-formed header: the frame is skipped, the
+// stream stays in sync) from fatal ones (bad magic / version / oversized
+// length: the length prefix can no longer be trusted, so the connection
+// must close after reporting the typed error).
+//
+// The blocking helpers below are the client/tool side; the server's epoll
+// loop uses the assembler directly over non-blocking reads.
+#ifndef MCSORT_NET_FRAME_IO_H_
+#define MCSORT_NET_FRAME_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "mcsort/net/wire.h"
+
+namespace mcsort {
+namespace net {
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+  FrameType type() const { return static_cast<FrameType>(header.type); }
+  bool last_chunk() const { return (header.flags & kFlagLastChunk) != 0; }
+};
+
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kMaxPayloadCap)
+      : max_payload_(max_payload < kMaxPayloadCap ? max_payload
+                                                  : kMaxPayloadCap) {}
+
+  void Append(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  enum class Next {
+    kFrame,     // *frame holds the next complete frame
+    kNeedMore,  // only a partial frame buffered; feed more bytes
+    kBadFrame,  // *error filled; *fatal says whether the stream is dead
+  };
+  Next Pull(Frame* frame, ErrorCode* error, bool* fatal);
+
+  // Bytes buffered but not yet consumed — nonzero means a frame is in
+  // flight, which is what the server's stalled-read timeout watches.
+  size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+};
+
+// ---------------------------------------------------------------------------
+// Blocking helpers (client library, probe tool). All return false on
+// error/EOF; EINTR is retried internally.
+// ---------------------------------------------------------------------------
+
+bool SendAll(int fd, const void* data, size_t n);
+inline bool SendAll(int fd, const std::string& bytes) {
+  return SendAll(fd, bytes.data(), bytes.size());
+}
+
+// One read(2) of up to 64 KiB appended to *buf; false on EOF or error
+// (including a receive-timeout set via SO_RCVTIMEO).
+bool RecvSome(int fd, std::string* buf);
+
+// Reads until the assembler yields an event. Returns kFrame/kBadFrame as
+// the assembler does, or kNeedMore to signal EOF/timeout mid-frame.
+FrameAssembler::Next RecvFrame(int fd, FrameAssembler* assembler,
+                               Frame* frame, ErrorCode* error, bool* fatal);
+
+}  // namespace net
+}  // namespace mcsort
+
+#endif  // MCSORT_NET_FRAME_IO_H_

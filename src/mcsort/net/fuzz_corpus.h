@@ -1,0 +1,228 @@
+// Hand-written malformed-frame corpus shared by tests/net_test.cc and
+// tools/net_probe.cc: every way a hostile or buggy client can garble the
+// wire, with the exact typed ERROR the server must answer (and whether it
+// may then close the connection). A server that aborts, hangs, or replies
+// with the wrong code on any case fails the protocol robustness bar.
+//
+// The QUERY-shaped cases assume the canonical demo table: columns named
+// "a", "b", "c", "m" (what MakeDemoTable in the tools and the net_test
+// fixture register). Run each case on a fresh connection — the fatal ones
+// poison the stream by design.
+#ifndef MCSORT_NET_FUZZ_CORPUS_H_
+#define MCSORT_NET_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/net/protocol.h"
+#include "mcsort/net/wire.h"
+
+namespace mcsort {
+namespace net {
+
+// What the server must do with the case's bytes.
+enum class FuzzExpect {
+  kError,       // exactly one ERROR frame with `code`; connection stays up
+  kErrorClose,  // ERROR frame with `code`, then the server closes
+  kNoReply,     // no reply frame; the server must simply stay healthy
+};
+
+struct FuzzCase {
+  const char* name;
+  bool hello_first;   // perform the HELLO handshake before sending `bytes`
+  std::string bytes;  // raw bytes written to the socket verbatim
+  FuzzExpect expect;
+  ErrorCode code;  // the ERROR frame's code (kError / kErrorClose)
+};
+
+namespace fuzz_internal {
+
+inline std::string GoodQueryEnvelope(const std::string& group_column) {
+  QueryEnvelope envelope;
+  envelope.spec.group_by = {group_column};
+  envelope.spec.aggregates.push_back({AggOp::kCount, ""});
+  return EncodeQuery(envelope);
+}
+
+inline std::string QueryFrame(uint64_t id, const std::string& payload) {
+  return SealFrame(FrameType::kQuery, 0, id, payload);
+}
+
+}  // namespace fuzz_internal
+
+// Builds the corpus (~20 cases). Deterministic — no RNG, so a failure
+// names the exact malformation that broke the server.
+inline std::vector<FuzzCase> BuildFuzzCorpus() {
+  using fuzz_internal::GoodQueryEnvelope;
+  using fuzz_internal::QueryFrame;
+  std::vector<FuzzCase> cases;
+  const auto add = [&cases](const char* name, bool hello_first,
+                            std::string bytes, FuzzExpect expect,
+                            ErrorCode code = ErrorCode::kNone) {
+    cases.push_back({name, hello_first, std::move(bytes), expect, code});
+  };
+
+  // --- Frame-shell malformations -----------------------------------------
+  {
+    std::string f = SealFrame(FrameType::kPing, 0, 1, "x");
+    f[0] = 'Z';  // corrupt the magic
+    add("bad_magic", false, std::move(f), FuzzExpect::kErrorClose,
+        ErrorCode::kMalformedFrame);
+  }
+  {
+    std::string f = SealFrame(FrameType::kPing, 0, 2, "x");
+    f[4] = 9;  // unknown protocol version
+    add("bad_version", false, std::move(f), FuzzExpect::kErrorClose,
+        ErrorCode::kUnsupportedVersion);
+  }
+  {
+    FrameHeader h;
+    h.type = static_cast<uint8_t>(FrameType::kPing);
+    h.payload_len = 0x7FFFFFFFu;  // above any payload cap
+    h.request_id = 3;
+    uint8_t raw[kHeaderSize];
+    EncodeHeader(h, raw);
+    add("oversized_len", false,
+        std::string(reinterpret_cast<char*>(raw), kHeaderSize),
+        FuzzExpect::kErrorClose, ErrorCode::kOversizedFrame);
+  }
+  {
+    std::string f = SealFrame(FrameType::kPing, 0, 4, "payload");
+    f.back() ^= 0x5A;  // corrupt the payload, not the header
+    add("crc_mismatch", false, std::move(f), FuzzExpect::kError,
+        ErrorCode::kCrcMismatch);
+  }
+  add("unknown_type", false,
+      SealFrame(static_cast<FrameType>(200), 0, 5, ""), FuzzExpect::kError,
+      ErrorCode::kUnknownType);
+  // A frame type only the server may emit, sent *to* the server.
+  add("server_only_type", false, SealFrame(FrameType::kResult, 0, 6, "data"),
+      FuzzExpect::kError, ErrorCode::kUnknownType);
+  {
+    std::string f = SealFrame(FrameType::kPing, 0, 7, "x");
+    add("truncated_header", false, f.substr(0, 8), FuzzExpect::kNoReply);
+  }
+  {
+    std::string f = SealFrame(FrameType::kQuery, 0, 8,
+                              GoodQueryEnvelope("a"));
+    add("truncated_payload", true, f.substr(0, f.size() / 2),
+        FuzzExpect::kNoReply);
+  }
+
+  // --- Handshake violations ----------------------------------------------
+  add("query_before_hello", false, QueryFrame(9, GoodQueryEnvelope("a")),
+      FuzzExpect::kError, ErrorCode::kProtocolViolation);
+  {
+    HelloRequest hello;
+    hello.client_name = "twice";
+    add("duplicate_hello", true,
+        SealFrame(FrameType::kHello, 0, 10, EncodeHello(hello)),
+        FuzzExpect::kError, ErrorCode::kProtocolViolation);
+  }
+  add("hello_garbage_payload", false,
+      SealFrame(FrameType::kHello, 0, 11, "\x01"), FuzzExpect::kError,
+      ErrorCode::kMalformedQuery);
+  {
+    HelloRequest hello;
+    hello.version = 42;  // well-formed payload, impossible version
+    add("hello_future_version", false,
+        SealFrame(FrameType::kHello, 0, 12, EncodeHello(hello)),
+        FuzzExpect::kErrorClose, ErrorCode::kUnsupportedVersion);
+  }
+
+  // --- QUERY payload malformations (after a clean handshake) -------------
+  add("query_empty_payload", true, QueryFrame(13, ""), FuzzExpect::kError,
+      ErrorCode::kMalformedQuery);
+  add("query_random_bytes", true,
+      QueryFrame(14, "\x00\x01\x02garbage\xff\xfe\xfd payload!"),
+      FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  {
+    std::string payload = GoodQueryEnvelope("a");
+    payload += "tail";  // trailing garbage after a well-formed spec
+    add("query_trailing_garbage", true, QueryFrame(15, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    // deadline + empty table + empty id, then a filter count of 65535 over
+    // a near-empty payload — the clause-count sanity cap must reject it.
+    std::string payload;
+    WireWriter w(&payload);
+    w.U64(0);
+    w.Str("");
+    w.Str("");
+    w.U16(65535);
+    add("query_absurd_clause_count", true, QueryFrame(16, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    // One filter whose CompareOp byte is far out of range.
+    std::string payload;
+    WireWriter w(&payload);
+    w.U64(0);
+    w.Str("");
+    w.Str("");
+    w.U16(1);   // 1 filter
+    w.Str("a");
+    w.U8(99);   // bad CompareOp
+    w.U8(0);
+    w.U64(0);
+    w.U64(0);
+    add("query_bad_enum", true, QueryFrame(17, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+
+  // --- Semantically invalid specs (decode fine, must not reach the
+  // engine's CHECKs) --------------------------------------------------------
+  add("query_unknown_column", true,
+      QueryFrame(18, GoodQueryEnvelope("no_such_column")), FuzzExpect::kError,
+      ErrorCode::kBadQuery);
+  {
+    QueryEnvelope envelope;  // no GROUP BY / ORDER BY / PARTITION BY at all
+    add("query_no_sort_clause", true,
+        QueryFrame(19, EncodeQuery(envelope)), FuzzExpect::kError,
+        ErrorCode::kBadQuery);
+  }
+  {
+    QueryEnvelope envelope;  // two sort clauses at once
+    envelope.spec.group_by = {"a"};
+    envelope.spec.order_by = {{"b", SortOrder::kAscending}};
+    add("query_two_sort_clauses", true,
+        QueryFrame(20, EncodeQuery(envelope)), FuzzExpect::kError,
+        ErrorCode::kBadQuery);
+  }
+  {
+    QueryEnvelope envelope;  // result-order names a nonexistent aggregate
+    envelope.spec.group_by = {"a"};
+    envelope.spec.aggregates.push_back({AggOp::kCount, ""});
+    envelope.spec.result_order.push_back({"agg:99", SortOrder::kAscending});
+    add("query_bad_result_order", true,
+        QueryFrame(21, EncodeQuery(envelope)), FuzzExpect::kError,
+        ErrorCode::kBadQuery);
+  }
+  {
+    QueryEnvelope envelope;  // aggregates without GROUP BY
+    envelope.spec.order_by = {{"a", SortOrder::kAscending}};
+    envelope.spec.aggregates.push_back({AggOp::kSum, "m"});
+    add("query_agg_without_group", true,
+        QueryFrame(22, EncodeQuery(envelope)), FuzzExpect::kError,
+        ErrorCode::kBadQuery);
+  }
+  {
+    QueryEnvelope envelope;
+    envelope.table = "no_such_table";
+    envelope.spec.group_by = {"a"};
+    add("query_unknown_table", true, QueryFrame(23, EncodeQuery(envelope)),
+        FuzzExpect::kError, ErrorCode::kUnknownTable);
+  }
+  // CANCEL for a request id that is not in flight: fire-and-forget no-op.
+  add("cancel_unknown_id", true, SealFrame(FrameType::kCancel, 0, 999, ""),
+      FuzzExpect::kNoReply);
+
+  return cases;
+}
+
+}  // namespace net
+}  // namespace mcsort
+
+#endif  // MCSORT_NET_FUZZ_CORPUS_H_

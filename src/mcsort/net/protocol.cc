@@ -1,0 +1,433 @@
+#include "mcsort/net/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mcsort {
+namespace net {
+namespace {
+
+// Clause-count sanity bound. Real specs have a handful of entries; a
+// decoder that trusts a u16 count of 65535 would loop pointlessly over a
+// short payload (each entry read fails), so cap early instead.
+constexpr uint32_t kMaxClauseCount = 256;
+
+bool ValidCount(const WireReader& reader, uint32_t count,
+                size_t min_entry_bytes) {
+  return count <= kMaxClauseCount &&
+         count * min_entry_bytes <= reader.remaining();
+}
+
+template <typename T>
+void WriteArraySlice(WireWriter* w, const T* data, size_t count) {
+  w->U32(static_cast<uint32_t>(count));
+  w->Bytes(data, count * sizeof(T));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// HELLO
+// --------------------------------------------------------------------------
+
+std::string EncodeHello(const HelloRequest& hello) {
+  std::string out;
+  WireWriter w(&out);
+  w.U16(hello.version);
+  w.Str(hello.client_name);
+  return out;
+}
+
+bool DecodeHello(const std::string& payload, HelloRequest* hello) {
+  WireReader r(payload);
+  hello->version = r.U16();
+  hello->client_name = r.Str();
+  return r.ok();
+}
+
+std::string EncodeHelloReply(const HelloReply& reply) {
+  std::string out;
+  WireWriter w(&out);
+  w.U16(reply.version);
+  w.Str(reply.server_name);
+  w.Str(reply.default_table);
+  return out;
+}
+
+bool DecodeHelloReply(const std::string& payload, HelloReply* reply) {
+  WireReader r(payload);
+  reply->version = r.U16();
+  reply->server_name = r.Str();
+  reply->default_table = r.Str();
+  return r.ok();
+}
+
+// --------------------------------------------------------------------------
+// ERROR
+// --------------------------------------------------------------------------
+
+std::string EncodeError(const ErrorInfo& error) {
+  std::string out;
+  WireWriter w(&out);
+  w.U16(static_cast<uint16_t>(error.code));
+  w.Str(error.detail);
+  return out;
+}
+
+bool DecodeError(const std::string& payload, ErrorInfo* error) {
+  WireReader r(payload);
+  error->code = static_cast<ErrorCode>(r.U16());
+  error->detail = r.Str();
+  return r.ok();
+}
+
+// --------------------------------------------------------------------------
+// QUERY
+// --------------------------------------------------------------------------
+
+std::string EncodeQuery(const QueryEnvelope& query) {
+  std::string out;
+  WireWriter w(&out);
+  w.U64(query.deadline_micros);
+  w.Str(query.table);
+  const QuerySpec& spec = query.spec;
+  w.Str(spec.id);
+  w.U16(static_cast<uint16_t>(spec.filters.size()));
+  for (const FilterSpec& f : spec.filters) {
+    w.Str(f.column);
+    w.U8(static_cast<uint8_t>(f.op));
+    w.U8(f.is_between ? 1 : 0);
+    w.U64(f.literal);
+    w.U64(f.literal2);
+  }
+  w.U16(static_cast<uint16_t>(spec.group_by.size()));
+  for (const std::string& c : spec.group_by) w.Str(c);
+  w.U16(static_cast<uint16_t>(spec.order_by.size()));
+  for (const auto& [column, order] : spec.order_by) {
+    w.Str(column);
+    w.U8(static_cast<uint8_t>(order));
+  }
+  w.U16(static_cast<uint16_t>(spec.partition_by.size()));
+  for (const std::string& c : spec.partition_by) w.Str(c);
+  w.Str(spec.window_order_column);
+  w.U16(static_cast<uint16_t>(spec.aggregates.size()));
+  for (const AggregateSpec& a : spec.aggregates) {
+    w.U8(static_cast<uint8_t>(a.op));
+    w.Str(a.column);
+  }
+  w.U16(static_cast<uint16_t>(spec.result_order.size()));
+  for (const ResultOrderSpec& ro : spec.result_order) {
+    w.Str(ro.key);
+    w.U8(static_cast<uint8_t>(ro.order));
+  }
+  return out;
+}
+
+bool DecodeQuery(const std::string& payload, QueryEnvelope* query) {
+  WireReader r(payload);
+  query->deadline_micros = r.U64();
+  query->table = r.Str();
+  QuerySpec& spec = query->spec;
+  spec = QuerySpec();
+  spec.id = r.Str();
+
+  const uint16_t n_filters = r.U16();
+  if (!ValidCount(r, n_filters, 2 + 2 + 16)) return false;
+  spec.filters.resize(n_filters);
+  for (FilterSpec& f : spec.filters) {
+    f.column = r.Str();
+    const uint8_t op = r.U8();
+    if (op > static_cast<uint8_t>(CompareOp::kNeq)) return false;
+    f.op = static_cast<CompareOp>(op);
+    f.is_between = r.U8() != 0;
+    f.literal = r.U64();
+    f.literal2 = r.U64();
+  }
+
+  const uint16_t n_group = r.U16();
+  if (!ValidCount(r, n_group, 2)) return false;
+  spec.group_by.resize(n_group);
+  for (std::string& c : spec.group_by) c = r.Str();
+
+  const uint16_t n_order = r.U16();
+  if (!ValidCount(r, n_order, 3)) return false;
+  spec.order_by.resize(n_order);
+  for (auto& [column, order] : spec.order_by) {
+    column = r.Str();
+    const uint8_t o = r.U8();
+    if (o > static_cast<uint8_t>(SortOrder::kDescending)) return false;
+    order = static_cast<SortOrder>(o);
+  }
+
+  const uint16_t n_partition = r.U16();
+  if (!ValidCount(r, n_partition, 2)) return false;
+  spec.partition_by.resize(n_partition);
+  for (std::string& c : spec.partition_by) c = r.Str();
+  spec.window_order_column = r.Str();
+
+  const uint16_t n_aggs = r.U16();
+  if (!ValidCount(r, n_aggs, 3)) return false;
+  spec.aggregates.resize(n_aggs);
+  for (AggregateSpec& a : spec.aggregates) {
+    const uint8_t op = r.U8();
+    if (op > static_cast<uint8_t>(AggOp::kMax)) return false;
+    a.op = static_cast<AggOp>(op);
+    a.column = r.Str();
+  }
+
+  const uint16_t n_ro = r.U16();
+  if (!ValidCount(r, n_ro, 3)) return false;
+  spec.result_order.resize(n_ro);
+  for (ResultOrderSpec& ro : spec.result_order) {
+    ro.key = r.Str();
+    const uint8_t o = r.U8();
+    if (o > static_cast<uint8_t>(SortOrder::kDescending)) return false;
+    ro.order = static_cast<SortOrder>(o);
+  }
+  // Trailing garbage after a well-formed spec is a framing lie: reject.
+  return r.AtEnd();
+}
+
+// --------------------------------------------------------------------------
+// SCHEMA
+// --------------------------------------------------------------------------
+
+TableSchema SchemaOf(const std::string& name, const Table& table) {
+  TableSchema schema;
+  schema.name = name;
+  schema.row_count = table.row_count();
+  for (const std::string& column_name : table.column_names()) {
+    const EncodedColumn& column = table.column(column_name);
+    ColumnInfo info;
+    info.name = column_name;
+    info.width = column.width();
+    info.physical_bytes = BytesOfPhysicalType(column.type());
+    info.has_dictionary = table.HasDictionary(column_name);
+    info.domain_base = table.domain_base(column_name);
+    schema.columns.push_back(std::move(info));
+  }
+  return schema;
+}
+
+std::string EncodeSchemaReply(const SchemaReply& reply) {
+  std::string out;
+  WireWriter w(&out);
+  w.U16(static_cast<uint16_t>(reply.tables.size()));
+  for (const TableSchema& table : reply.tables) {
+    w.Str(table.name);
+    w.U64(table.row_count);
+    w.U16(static_cast<uint16_t>(table.columns.size()));
+    for (const ColumnInfo& c : table.columns) {
+      w.Str(c.name);
+      w.U8(static_cast<uint8_t>(c.width));
+      w.U8(static_cast<uint8_t>(c.physical_bytes));
+      w.U8(c.has_dictionary ? 1 : 0);
+      w.I64(c.domain_base);
+    }
+  }
+  return out;
+}
+
+bool DecodeSchemaReply(const std::string& payload, SchemaReply* reply) {
+  WireReader r(payload);
+  const uint16_t n_tables = r.U16();
+  if (!ValidCount(r, n_tables, 12)) return false;
+  reply->tables.resize(n_tables);
+  for (TableSchema& table : reply->tables) {
+    table.name = r.Str();
+    table.row_count = r.U64();
+    const uint16_t n_cols = r.U16();
+    if (!ValidCount(r, n_cols, 2 + 3 + 8)) return false;
+    table.columns.resize(n_cols);
+    for (ColumnInfo& c : table.columns) {
+      c.name = r.Str();
+      c.width = r.U8();
+      c.physical_bytes = r.U8();
+      c.has_dictionary = r.U8() != 0;
+      c.domain_base = r.I64();
+    }
+  }
+  return r.ok();
+}
+
+// --------------------------------------------------------------------------
+// RESULT stream
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string EncodeSummaryChunk(const QueryResult& result) {
+  std::string out;
+  WireWriter w(&out);
+  w.U8(static_cast<uint8_t>(ResultSection::kSummary));
+  w.U64(result.input_rows);
+  w.U64(result.filtered_rows);
+  w.U64(result.num_groups);
+  w.F64(result.scan_seconds);
+  w.F64(result.materialize_seconds);
+  w.F64(result.plan_seconds);
+  w.F64(result.mcs_seconds);
+  w.F64(result.post_seconds);
+  w.U8(result.degraded ? 1 : 0);
+  w.U32(static_cast<uint32_t>(result.bank_cap));
+  w.U16(static_cast<uint16_t>(result.aggregate_values.size()));
+  return out;
+}
+
+// Splits one array into data chunks of at most `chunk_bytes` element data.
+template <typename T>
+void ChunkArray(ResultSection section, uint16_t index, const T* data,
+                size_t count, size_t chunk_bytes, uint64_t request_id,
+                bool is_final_section, std::vector<std::string>* frames) {
+  const size_t per_chunk = std::max<size_t>(1, chunk_bytes / sizeof(T));
+  size_t offset = 0;
+  do {
+    const size_t n = std::min(per_chunk, count - offset);
+    std::string payload;
+    WireWriter w(&payload);
+    w.U8(static_cast<uint8_t>(section));
+    w.U16(index);
+    WriteArraySlice(&w, data + offset, n);
+    offset += n;
+    const bool last = is_final_section && offset >= count;
+    frames->push_back(SealFrame(FrameType::kResult,
+                                last ? kFlagLastChunk : 0, request_id,
+                                payload));
+  } while (offset < count);
+}
+
+}  // namespace
+
+void BuildResultFrames(uint64_t request_id, const QueryResult& result,
+                       size_t chunk_bytes, std::vector<std::string>* frames) {
+  // Collect the non-empty sections first so the last chunk of the last
+  // section can carry the end-of-stream flag.
+  struct Section {
+    ResultSection id;
+    uint16_t index;
+    const void* data;
+    size_t count;
+    size_t elem;
+  };
+  std::vector<Section> sections;
+  for (size_t i = 0; i < result.aggregate_values.size(); ++i) {
+    const std::vector<int64_t>& values = result.aggregate_values[i];
+    if (!values.empty()) {
+      sections.push_back({ResultSection::kAggregateValues,
+                          static_cast<uint16_t>(i), values.data(),
+                          values.size(), sizeof(int64_t)});
+    }
+  }
+  if (!result.aggregate_avg.empty()) {
+    sections.push_back({ResultSection::kAggregateAvg, 0,
+                        result.aggregate_avg.data(),
+                        result.aggregate_avg.size(), sizeof(double)});
+  }
+  if (!result.ranks.empty()) {
+    sections.push_back({ResultSection::kRanks, 0, result.ranks.data(),
+                        result.ranks.size(), sizeof(uint32_t)});
+  }
+  if (!result.result_oids.empty()) {
+    sections.push_back({ResultSection::kResultOids, 0,
+                        result.result_oids.data(), result.result_oids.size(),
+                        sizeof(uint32_t)});
+  }
+  if (!result.result_group_order.empty()) {
+    sections.push_back({ResultSection::kGroupOrder, 0,
+                        result.result_group_order.data(),
+                        result.result_group_order.size(), sizeof(uint32_t)});
+  }
+
+  const bool summary_is_last = sections.empty();
+  frames->push_back(SealFrame(FrameType::kResult,
+                              summary_is_last ? kFlagLastChunk : 0,
+                              request_id, EncodeSummaryChunk(result)));
+  for (size_t s = 0; s < sections.size(); ++s) {
+    const Section& section = sections[s];
+    const bool final_section = s + 1 == sections.size();
+    switch (section.elem) {
+      case sizeof(uint32_t):
+        ChunkArray(section.id, section.index,
+                   static_cast<const uint32_t*>(section.data), section.count,
+                   chunk_bytes, request_id, final_section, frames);
+        break;
+      default:  // int64_t and double are both 8-byte raw copies
+        ChunkArray(section.id, section.index,
+                   static_cast<const uint64_t*>(section.data), section.count,
+                   chunk_bytes, request_id, final_section, frames);
+        break;
+    }
+  }
+}
+
+bool ResultAssembler::Consume(const std::string& payload, bool last) {
+  if (done_) return false;  // frames after the end-of-stream flag
+  WireReader r(payload);
+  const uint8_t section = r.U8();
+  switch (static_cast<ResultSection>(section)) {
+    case ResultSection::kSummary: {
+      ResultSummary& s = result_.summary;
+      s.input_rows = r.U64();
+      s.filtered_rows = r.U64();
+      s.num_groups = r.U64();
+      s.scan_seconds = r.F64();
+      s.materialize_seconds = r.F64();
+      s.plan_seconds = r.F64();
+      s.mcs_seconds = r.F64();
+      s.post_seconds = r.F64();
+      s.degraded = r.U8() != 0;
+      s.bank_cap = static_cast<int32_t>(r.U32());
+      s.num_aggregates = r.U16();
+      if (!r.ok()) return false;
+      result_.aggregate_values.resize(s.num_aggregates);
+      break;
+    }
+    case ResultSection::kAggregateValues: {
+      const uint16_t index = r.U16();
+      const uint32_t count = r.U32();
+      if (index >= result_.aggregate_values.size()) return false;
+      if (count * sizeof(int64_t) != r.remaining()) return false;
+      std::vector<int64_t>& out = result_.aggregate_values[index];
+      const size_t old = out.size();
+      out.resize(old + count);
+      if (!r.Array(out.data() + old, count, sizeof(int64_t))) return false;
+      break;
+    }
+    case ResultSection::kAggregateAvg:
+    case ResultSection::kRanks:
+    case ResultSection::kResultOids:
+    case ResultSection::kGroupOrder: {
+      r.U16();  // index, unused outside aggregate sections
+      const uint32_t count = r.U32();
+      const size_t elem = section == static_cast<uint8_t>(
+                                         ResultSection::kAggregateAvg)
+                              ? sizeof(double)
+                              : sizeof(uint32_t);
+      if (count * elem != r.remaining()) return false;
+      if (section == static_cast<uint8_t>(ResultSection::kAggregateAvg)) {
+        std::vector<double>& out = result_.aggregate_avg;
+        const size_t old = out.size();
+        out.resize(old + count);
+        if (!r.Array(out.data() + old, count, elem)) return false;
+      } else {
+        std::vector<uint32_t>* out =
+            section == static_cast<uint8_t>(ResultSection::kRanks)
+                ? &result_.ranks
+                : section == static_cast<uint8_t>(ResultSection::kResultOids)
+                      ? &result_.result_oids
+                      : &result_.result_group_order;
+        const size_t old = out->size();
+        out->resize(old + count);
+        if (!r.Array(out->data() + old, count, elem)) return false;
+      }
+      break;
+    }
+    default:
+      return false;
+  }
+  if (last) done_ = true;
+  return true;
+}
+
+}  // namespace net
+}  // namespace mcsort

@@ -1,0 +1,142 @@
+#include "mcsort/net/wire.h"
+
+namespace mcsort {
+namespace net {
+namespace {
+
+// Reflected CRC32C table, built once (thread-safe magic static).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const Crc32cTable table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+bool IsClientFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kMetricsRequest:
+    case FrameType::kSchemaRequest:
+    case FrameType::kGoodbye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kMalformedFrame: return "malformed_frame";
+    case ErrorCode::kCrcMismatch: return "crc_mismatch";
+    case ErrorCode::kUnsupportedVersion: return "unsupported_version";
+    case ErrorCode::kOversizedFrame: return "oversized_frame";
+    case ErrorCode::kUnknownType: return "unknown_type";
+    case ErrorCode::kMalformedQuery: return "malformed_query";
+    case ErrorCode::kBadQuery: return "bad_query";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kProtocolViolation: return "protocol_violation";
+    case ErrorCode::kUnknownTable: return "unknown_table";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void EncodeHeader(const FrameHeader& header, uint8_t out[kHeaderSize]) {
+  std::string buf;
+  buf.reserve(kHeaderSize);
+  WireWriter w(&buf);
+  w.U32(header.magic);
+  w.U8(header.version);
+  w.U8(header.type);
+  w.U16(header.flags);
+  w.U32(header.payload_len);
+  w.U32(header.payload_crc);
+  w.U64(header.request_id);
+  std::memcpy(out, buf.data(), kHeaderSize);
+}
+
+FrameHeader DecodeHeader(const uint8_t in[kHeaderSize]) {
+  WireReader r(in, kHeaderSize);
+  FrameHeader h;
+  h.magic = r.U32();
+  h.version = r.U8();
+  h.type = r.U8();
+  h.flags = r.U16();
+  h.payload_len = r.U32();
+  h.payload_crc = r.U32();
+  h.request_id = r.U64();
+  return h;
+}
+
+std::string SealFrame(FrameType type, uint16_t flags, uint64_t request_id,
+                      const std::string& payload) {
+  FrameHeader header;
+  header.type = static_cast<uint8_t>(type);
+  header.flags = flags;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.payload_crc = Crc32c(payload.data(), payload.size());
+  header.request_id = request_id;
+  std::string frame;
+  frame.resize(kHeaderSize);
+  EncodeHeader(header, reinterpret_cast<uint8_t*>(frame.data()));
+  frame += payload;
+  return frame;
+}
+
+void WireWriter::Str(const std::string& s) {
+  const size_t n = s.size() < 65535 ? s.size() : 65535;
+  U16(static_cast<uint16_t>(n));
+  Raw(s.data(), n);
+}
+
+std::string WireReader::Str() {
+  const uint16_t n = U16();
+  if (!ok_ || n_ - pos_ < n) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+bool WireReader::Array(void* out, size_t n, size_t elem_size) {
+  const size_t bytes = n * elem_size;
+  if (!ok_ || n_ - pos_ < bytes) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, p_ + pos_, bytes);
+  pos_ += bytes;
+  return true;
+}
+
+}  // namespace net
+}  // namespace mcsort

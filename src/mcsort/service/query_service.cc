@@ -31,10 +31,6 @@ ExecResult QuerySession::Execute(const QuerySpec& spec,
   return service_->ExecuteOn(this, spec, ctx);
 }
 
-QueryResult QuerySession::Execute(const QuerySpec& spec) {
-  return service_->ExecuteOn(this, spec, ExecContext::Default()).result;
-}
-
 size_t EstimateScratchBytes(const Table& table,
                             const QueryExecutor::SortAttrs& attrs) {
   const size_t n = table.row_count();
@@ -69,6 +65,36 @@ std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
   metrics_.counter("service.sessions_opened")->Increment();
   return std::unique_ptr<QuerySession>(
       new QuerySession(this, table, id, exec));
+}
+
+void QueryService::RegisterTable(const std::string& name,
+                                 const Table& table) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  for (auto& [existing, entry] : tables_) {
+    if (existing == name) {
+      entry = &table;
+      return;
+    }
+  }
+  tables_.emplace_back(name, &table);
+}
+
+const Table* QueryService::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  if (tables_.empty()) return nullptr;
+  if (name.empty()) return tables_.front().second;
+  for (const auto& [existing, table] : tables_) {
+    if (existing == name) return table;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> QueryService::ListTables() const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
 }
 
 ExecResult QueryService::ExecuteOn(QuerySession* session,

@@ -22,7 +22,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/cost/params.h"
@@ -71,9 +74,6 @@ class QuerySession {
   // in the service metrics under exec.<status-name>.
   ExecResult Execute(const QuerySpec& spec, const ExecContext& ctx);
 
-  [[deprecated("use Execute(spec, ExecContext) — removed next PR")]]
-  QueryResult Execute(const QuerySpec& spec);
-
   uint64_t id() const { return id_; }
   // Whether the last Execute's main-sort plan came from the cache.
   bool last_plan_cached() const { return last_plan_cached_; }
@@ -108,6 +108,16 @@ class QueryService {
   // Sessions may be opened and used from concurrent threads.
   std::unique_ptr<QuerySession> OpenSession(const Table& table);
 
+  // Named-table catalog for front-ends that address tables by name (the
+  // network SCHEMA frame, QUERY's `table` field). Tables are borrowed and
+  // must outlive the service; re-registering a name replaces its binding.
+  void RegisterTable(const std::string& name, const Table& table);
+  // The table registered under `name`; an empty name resolves the default
+  // (first-registered) table. nullptr when unknown / nothing registered.
+  const Table* FindTable(const std::string& name) const;
+  // Registered names, in registration order (the first is the default).
+  std::vector<std::string> ListTables() const;
+
   MetricsRegistry& metrics() { return metrics_; }
   PlanCache& plan_cache() { return plan_cache_; }
   AdmissionController& admission() { return admission_; }
@@ -131,6 +141,8 @@ class QueryService {
   AdmissionController admission_;
   MetricsRegistry metrics_;
   std::atomic<uint64_t> next_session_id_{0};
+  mutable std::mutex tables_mu_;
+  std::vector<std::pair<std::string, const Table*>> tables_;
 };
 
 }  // namespace mcsort

@@ -169,7 +169,10 @@ TEST(CancellationTest, CancelFromSecondThreadStopsInFlightSortBounded) {
     EXPECT_EQ(run.result.result_oids.size(), n);
   } else {
     EXPECT_EQ(run.status.code, ExecCode::kCancelled);
-    EXPECT_LT(latency, 2.0) << "unwind not bounded by morsel granularity";
+    // TSan on a 1-core container unwinds in ~2.5-3s while the full sort
+    // takes ~7.5s, so 5.0 still separates morsel-bounded unwinding from
+    // running the sort to completion.
+    EXPECT_LT(latency, 5.0) << "unwind not bounded by morsel granularity";
   }
 }
 

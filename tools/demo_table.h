@@ -1,0 +1,36 @@
+// The canonical demo table served by tools/mcsort_server and assumed by
+// the fuzz corpus and tools/net_probe: four columns "a" (20 values),
+// "b" (500), "c" (100000), "m" (1000) — the same shape the service bench
+// replays, so remote demo queries exercise realistic group counts.
+#ifndef MCSORT_TOOLS_DEMO_TABLE_H_
+#define MCSORT_TOOLS_DEMO_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "mcsort/common/random.h"
+#include "mcsort/storage/table.h"
+
+namespace mcsort {
+
+inline Table MakeDemoTable(size_t n, uint64_t seed = 4242) {
+  Rng rng(seed);
+  Table table;
+  EncodedColumn a(6, n), b(11, n), c(19, n), m(10, n);
+  for (size_t r = 0; r < n; ++r) {
+    a.Set(r, rng.NextBounded(20));
+    b.Set(r, rng.NextBounded(500));
+    c.Set(r, rng.NextBounded(100000));
+    m.Set(r, rng.NextBounded(1000));
+  }
+  table.AddColumn("a", std::move(a));
+  table.AddColumn("b", std::move(b));
+  table.AddColumn("c", std::move(c));
+  table.AddColumn("m", std::move(m));
+  return table;
+}
+
+}  // namespace mcsort
+
+#endif  // MCSORT_TOOLS_DEMO_TABLE_H_

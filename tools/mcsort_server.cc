@@ -1,0 +1,67 @@
+// mcsort_server — the standalone network front-end binary: builds the
+// demo table, wires a QueryService, and serves the binary protocol until
+// SIGTERM/SIGINT triggers a graceful drain.
+//
+// Environment knobs: MCSORT_HOST / MCSORT_PORT (0 = ephemeral; the bound
+// port is printed either way) / MCSORT_MAX_CONNS, plus the usual service
+// knobs (MCSORT_THREADS, MCSORT_RHO, MCSORT_N for the demo table size).
+// scripts/net_smoke.sh drives this binary in CI.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "demo_table.h"
+#include "mcsort/common/env.h"
+#include "mcsort/net/server.h"
+#include "mcsort/service/query_service.h"
+
+namespace {
+
+mcsort::net::McsortServer* g_server = nullptr;
+
+// Async-signal-safe by construction: RequestDrain is an atomic store plus
+// one write(2) to an eventfd.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcsort;
+
+  const size_t rows = EnvU64("MCSORT_N", 1u << 20);
+  const Table table = MakeDemoTable(rows);
+
+  ServiceOptions service_options = ServiceOptions::FromEnv();
+  if (service_options.threads <= 1) {
+    service_options.threads = std::max(
+        2u, std::thread::hardware_concurrency() / 2);
+  }
+  QueryService service(service_options);
+  service.RegisterTable("demo", table);
+
+  net::ServerOptions options = net::ServerOptions::FromEnv();
+  net::McsortServer server(&service, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "mcsort_server: start failed: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The port line is the startup handshake scripts wait for; flush it.
+  std::printf("mcsort_server listening on %s:%u (%zu rows, %d pool "
+              "threads, max %d conns)\n",
+              options.host.c_str(), server.port(), rows,
+              service_options.threads, options.max_connections);
+  std::fflush(stdout);
+
+  server.WaitUntilStopped();
+  std::printf("mcsort_server: drained, final metrics:\n%s",
+              service.DumpMetrics().c_str());
+  return 0;
+}
