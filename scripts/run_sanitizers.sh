@@ -27,6 +27,7 @@ tests=(
   exec_context_test
   metrics_test
   net_test
+  io_test
 )
 
 run_flavor() {

@@ -27,13 +27,15 @@ class AlignedBuffer {
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
         size_(std::exchange(other.size_, 0)),
-        capacity_(std::exchange(other.capacity_, 0)) {}
+        capacity_(std::exchange(other.capacity_, 0)),
+        owns_(std::exchange(other.owns_, true)) {}
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       Free();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
       capacity_ = std::exchange(other.capacity_, 0);
+      owns_ = std::exchange(other.owns_, true);
     }
     return *this;
   }
@@ -64,6 +66,20 @@ class AlignedBuffer {
     if (n > size_) Reset(n);
   }
 
+  // Points the buffer at externally owned memory (e.g. an mmap'd snapshot
+  // section) without taking ownership: Free() never touches it, and the
+  // memory must outlive the buffer. The pointer must satisfy T's alignment
+  // (snapshot sections are page-aligned, far stricter). A later Reset()
+  // drops the view and allocates normally.
+  void ResetView(T* data, size_t n) {
+    Free();
+    data_ = data;
+    size_ = n;
+    capacity_ = 0;  // any growth reallocates instead of writing the view
+    owns_ = false;
+  }
+  bool is_view() const { return !owns_; }
+
   void Fill(const T& value) {
     for (size_t i = 0; i < size_; ++i) data_[i] = value;
   }
@@ -93,15 +109,17 @@ class AlignedBuffer {
   }
 
   void Free() {
-    std::free(data_);
+    if (owns_) std::free(data_);
     data_ = nullptr;
     size_ = 0;
     capacity_ = 0;
+    owns_ = true;
   }
 
   T* data_ = nullptr;
   size_t size_ = 0;
   size_t capacity_ = 0;
+  bool owns_ = true;
 };
 
 }  // namespace mcsort

@@ -41,6 +41,24 @@ inline uint16_t PortFromEnv(uint16_t fallback) {
   return static_cast<uint16_t>(EnvU64("MCSORT_PORT", fallback));
 }
 
+// Cost-model calibration file: MCSORT_CALIBRATION names the measurement
+// cache read (and written, after a calibrate run) by CalibratedParams().
+// MCSORT_CALIBRATION_FILE is accepted as an alias for compatibility with
+// earlier scripts. Default stays the CWD-relative file the calibrator has
+// always used.
+inline std::string CalibrationPathFromEnv() {
+  const char* env = std::getenv("MCSORT_CALIBRATION");
+  if (env == nullptr || env[0] == '\0') {
+    env = std::getenv("MCSORT_CALIBRATION_FILE");
+  }
+  return env != nullptr && env[0] != '\0' ? env : "mcsort_calibration.txt";
+}
+
+// Snapshot catalog directory for the persistence tier (io/snapshot.h):
+// MCSORT_DATA_DIR points the server and tools at a directory of saved
+// table snapshots. Empty (the default) disables on-disk cataloging.
+inline std::string DataDirFromEnv() { return EnvStr("MCSORT_DATA_DIR", ""); }
+
 // The ROGA time threshold: MCSORT_RHO overrides `fallback` (Appendix C's
 // default 0.1%). Accepts a plain double; <= 0 disables the stopwatch
 // ("N/S"). Shared by the query-service config and bench/fig12_rho so both

@@ -1,0 +1,66 @@
+#include "mcsort/common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mcsort {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+bool MmapFile::Open(const std::string& path, std::string* error) {
+  Close();
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return fail("open");
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("fstat");
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    mapped_ = true;  // a zero-length mapping is a valid (empty) file
+    return true;
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) {
+    size_ = 0;
+    return fail("mmap");
+  }
+  data_ = p;
+  mapped_ = true;
+  return true;
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+void MmapFile::AdviseSequential() const {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_SEQUENTIAL);
+}
+
+}  // namespace mcsort

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/env.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/random.h"
 #include "mcsort/common/timer.h"
@@ -315,18 +316,17 @@ CostParams* calibrated_params = nullptr;
 
 const CostParams& CalibratedParams() {
   std::call_once(calibrated_params_once, [] {
-    const char* env = std::getenv("MCSORT_CALIBRATION_FILE");
-    if (env == nullptr) env = std::getenv("MCSORT_CALIBRATION");
-    const char* path = env != nullptr ? env : "mcsort_calibration.txt";
+    const std::string path = CalibrationPathFromEnv();
     CostParams params = CostParams::Default();
-    if (LoadParams(path, &params)) {
-      std::fprintf(stderr, "[mcsort] loaded calibration from %s\n", path);
+    if (LoadParams(path.c_str(), &params)) {
+      std::fprintf(stderr, "[mcsort] loaded calibration from %s\n",
+                   path.c_str());
     } else {
       std::fprintf(stderr,
                    "[mcsort] calibrating cost model (cached to %s)...\n",
-                   path);
+                   path.c_str());
       params = Calibrate();
-      SaveParams(params, path);
+      SaveParams(params, path.c_str());
     }
     calibrated_params = new CostParams(params);  // leaked intentionally
   });

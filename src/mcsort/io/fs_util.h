@@ -1,0 +1,24 @@
+// Small filesystem helpers shared by the snapshot reader/writer and the
+// CSV ingest pipeline. POSIX-only, like the rest of io/.
+#ifndef MCSORT_IO_FS_UTIL_H_
+#define MCSORT_IO_FS_UTIL_H_
+
+#include <string>
+
+#include "mcsort/io/io_status.h"
+
+namespace mcsort {
+
+// mkdir -p: creates `dir` and any missing parents (mode 0755).
+bool MakeDirs(const std::string& dir);
+
+// Reads the whole file into `out` (replacing its contents).
+IoStatus ReadFileToString(const std::string& path, std::string* out);
+
+// Writes `bytes` to `path`.tmp and renames over `path`, so readers never
+// observe a half-written file.
+IoStatus WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+}  // namespace mcsort
+
+#endif  // MCSORT_IO_FS_UTIL_H_

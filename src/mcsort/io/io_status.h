@@ -1,0 +1,57 @@
+// Typed error reporting for the persistence tier (io/), plus the load-mode
+// options shared by Table::LoadSnapshot and the catalog. Lives in its own
+// leaf header so storage/table.h can name these types without pulling in
+// the snapshot machinery.
+#ifndef MCSORT_IO_IO_STATUS_H_
+#define MCSORT_IO_IO_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mcsort {
+
+enum class IoCode {
+  kOk = 0,
+  kIoError,     // open/read/write/mmap syscall failure (message has errno)
+  kBadMagic,    // not a snapshot file
+  kBadVersion,  // snapshot from an incompatible format version
+  kCorrupt,     // CRC32C mismatch or truncated section
+  kBadFormat,   // structurally invalid (bad widths, counts, offsets)
+};
+
+const char* IoCodeName(IoCode code);
+
+// Status-or-error result of an io/ operation. Corruption and version skew
+// are *values*, not crashes: a server must survive a bad snapshot file.
+struct IoStatus {
+  IoCode code = IoCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == IoCode::kOk; }
+
+  static IoStatus Ok() { return {}; }
+  static IoStatus Error(IoCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  // Human-readable "kind: message" line for logs and wire error details.
+  std::string ToString() const;
+};
+
+// How LoadSnapshot materializes column codes.
+enum class SnapshotLoadMode {
+  kBuffered,  // read(2) into fresh AlignedBuffers; file independent after
+  kMmap,      // zero-copy: codes are views over a pinned PROT_READ mapping
+};
+
+struct SnapshotLoadOptions {
+  SnapshotLoadMode mode = SnapshotLoadMode::kBuffered;
+  // Verify every section's CRC32C at load. With kMmap this costs one
+  // sequential pass over the mapping (memory stays file-backed); turn it
+  // off to get the query-ready-in-milliseconds path and trust the medium.
+  bool verify_checksums = true;
+};
+
+}  // namespace mcsort
+
+#endif  // MCSORT_IO_IO_STATUS_H_

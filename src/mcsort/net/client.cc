@@ -316,6 +316,49 @@ bool McsortClient::GetMetrics(std::string* text) {
   return true;
 }
 
+TableOpResult McsortClient::TableOp(FrameType type, const std::string& table) {
+  TableOpResult result;
+  if (fd_ < 0) return result;
+  const uint64_t id = NextRequestId();
+  TableOpRequest request;
+  request.table = table;
+  if (!SendFrame(type, id, EncodeTableOp(request))) {
+    FailTransport();
+    return result;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame)) {
+    FailTransport();
+    return result;
+  }
+  if (frame.type() == FrameType::kError) {
+    ErrorInfo info;
+    if (!DecodeError(frame.payload, &info)) {
+      FailTransport();
+      return result;
+    }
+    result.transport_ok = true;
+    result.error = info.code;
+    result.error_detail = info.detail;
+    return result;
+  }
+  if (frame.type() != FrameType::kTableOpReply ||
+      !DecodeTableOpReply(frame.payload, &result.reply)) {
+    FailTransport();
+    return result;
+  }
+  result.transport_ok = true;
+  return result;
+}
+
+TableOpResult McsortClient::SaveTable(const std::string& table) {
+  return TableOp(FrameType::kSaveTable, table);
+}
+
+TableOpResult McsortClient::LoadTable(const std::string& table) {
+  return TableOp(FrameType::kLoadTable, table);
+}
+
 bool McsortClient::GetSchema(SchemaReply* schema) {
   if (fd_ < 0) return false;
   const uint64_t id = NextRequestId();

@@ -63,6 +63,20 @@ struct RemoteResult {
   }
 };
 
+// Outcome of a remote SAVE_TABLE / LOAD_TABLE. The server runs the
+// snapshot IO on a worker and answers with a TABLE_OP_REPLY (or a typed
+// ERROR, mapped into `error` here).
+struct TableOpResult {
+  bool transport_ok = false;
+  ErrorCode error = ErrorCode::kNone;  // kNone when the server replied
+  std::string error_detail;
+  TableOpReply reply;
+
+  bool ok() const {
+    return transport_ok && error == ErrorCode::kNone && reply.ok;
+  }
+};
+
 class McsortClient {
  public:
   explicit McsortClient(const ClientOptions& options);
@@ -98,12 +112,19 @@ class McsortClient {
   // Fetches the table catalog, so clients need not hardcode columns.
   bool GetSchema(SchemaReply* schema);
 
+  // Snapshots `table` (empty = server default) into the server's catalog
+  // directory / loads it back. Blocking: the reply carries the server-side
+  // wall time and the table's row count.
+  TableOpResult SaveTable(const std::string& table = std::string());
+  TableOpResult LoadTable(const std::string& table);
+
  private:
   uint64_t NextRequestId() {
     return next_request_.fetch_add(1, std::memory_order_relaxed);
   }
   bool SendFrame(FrameType type, uint64_t request_id,
                  const std::string& payload);
+  TableOpResult TableOp(FrameType type, const std::string& table);
   // Reads frames until one with `request_id` arrives (stale replies from
   // abandoned requests are discarded). False on transport failure.
   bool ReadReply(uint64_t request_id, Frame* frame);

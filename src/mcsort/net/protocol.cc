@@ -251,6 +251,44 @@ bool DecodeSchemaReply(const std::string& payload, SchemaReply* reply) {
 }
 
 // --------------------------------------------------------------------------
+// SAVE_TABLE / LOAD_TABLE
+// --------------------------------------------------------------------------
+
+std::string EncodeTableOp(const TableOpRequest& request) {
+  std::string out;
+  WireWriter w(&out);
+  w.Str(request.table);
+  return out;
+}
+
+bool DecodeTableOp(const std::string& payload, TableOpRequest* request) {
+  WireReader r(payload);
+  request->table = r.Str();
+  return r.AtEnd();
+}
+
+std::string EncodeTableOpReply(const TableOpReply& reply) {
+  std::string out;
+  WireWriter w(&out);
+  w.U8(reply.ok ? 1 : 0);
+  w.U8(reply.io_code);
+  w.Str(reply.detail);
+  w.F64(reply.seconds);
+  w.U64(reply.rows);
+  return out;
+}
+
+bool DecodeTableOpReply(const std::string& payload, TableOpReply* reply) {
+  WireReader r(payload);
+  reply->ok = r.U8() != 0;
+  reply->io_code = r.U8();
+  reply->detail = r.Str();
+  reply->seconds = r.F64();
+  reply->rows = r.U64();
+  return r.ok();
+}
+
+// --------------------------------------------------------------------------
 // RESULT stream
 // --------------------------------------------------------------------------
 

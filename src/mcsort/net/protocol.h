@@ -104,6 +104,34 @@ std::string EncodeSchemaReply(const SchemaReply& reply);
 bool DecodeSchemaReply(const std::string& payload, SchemaReply* reply);
 
 // --------------------------------------------------------------------------
+// SAVE_TABLE / LOAD_TABLE
+// --------------------------------------------------------------------------
+
+// Payload of both kSaveTable and kLoadTable (the frame type carries the
+// verb): name the table to snapshot to / load from the server's catalog
+// directory. Empty = the server's default table (SAVE only; LOAD requires
+// an explicit name since the table may not be registered yet).
+struct TableOpRequest {
+  std::string table;
+};
+
+// kTableOpReply payload: the operation's outcome. `io_code` is the
+// mcsort::IoCode of the failure as a u8 (0 = ok); `detail` carries the
+// IoStatus message text.
+struct TableOpReply {
+  bool ok = false;
+  uint8_t io_code = 0;
+  std::string detail;
+  double seconds = 0;   // wall time of the save/load on the server
+  uint64_t rows = 0;    // row count of the table operated on
+};
+
+std::string EncodeTableOp(const TableOpRequest& request);
+bool DecodeTableOp(const std::string& payload, TableOpRequest* request);
+std::string EncodeTableOpReply(const TableOpReply& reply);
+bool DecodeTableOpReply(const std::string& payload, TableOpReply* reply);
+
+// --------------------------------------------------------------------------
 // RESULT stream
 // --------------------------------------------------------------------------
 

@@ -60,9 +60,17 @@ struct McsortServer::Conn {
 };
 
 struct McsortServer::Job {
+  // What the worker should do. Table ops (snapshot save/load) run on the
+  // same worker pool as queries so the event loop never touches a disk.
+  enum class Kind { kQuery, kSaveTable, kLoadTable };
+
+  Kind kind = Kind::kQuery;
   std::shared_ptr<Conn> conn;
   uint64_t request_id = 0;
-  const Table* table = nullptr;
+  // Catalog name the worker resolves (empty = default table). Resolution
+  // happens on the worker, not the loop thread, because an unloaded
+  // catalog table materializes from disk on first use.
+  std::string table_name;
   QuerySpec spec;
   bool has_deadline = false;
   Clock::time_point deadline{};
@@ -664,8 +672,7 @@ void McsortServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
       conn->hello_done = true;
       HelloReply reply;
       reply.server_name = options_.server_name;
-      const std::vector<std::string> tables = service_->ListTables();
-      if (!tables.empty()) reply.default_table = tables.front();
+      reply.default_table = service_->DefaultTableName();
       std::vector<std::string> frames;
       frames.push_back(SealFrame(FrameType::kHelloAck, 0, id,
                                  EncodeHelloReply(reply)));
@@ -713,6 +720,10 @@ void McsortServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
     case FrameType::kQuery:
       HandleQueryFrame(conn, frame);
       return;
+    case FrameType::kSaveTable:
+    case FrameType::kLoadTable:
+      HandleTableOpFrame(conn, frame);
+      return;
     default:
       SendError(conn, id, ErrorCode::kUnknownType, "unhandled frame type");
       return;
@@ -754,34 +765,73 @@ void McsortServer::HandleQueryFrame(const std::shared_ptr<Conn>& conn,
               "QUERY payload did not decode");
     return;
   }
-  const Table* table = service_->FindTable(envelope.table);
-  if (table == nullptr) {
-    SendError(conn, id, ErrorCode::kUnknownTable,
-              "unknown table: " + envelope.table);
-    return;
-  }
-  std::string detail;
-  const ErrorCode invalid = ValidateSpec(*table, envelope.spec, &detail);
-  if (invalid != ErrorCode::kNone) {
-    SendError(conn, id, invalid, detail);
-    return;
-  }
 
+  // Table resolution and spec validation happen on the worker: resolving
+  // an unloaded catalog table does disk IO, which must never block the
+  // event loop. The worker answers kUnknownTable / kBadQuery the same way
+  // it answers execution errors.
   Job job;
   job.conn = conn;
   job.request_id = id;
-  job.table = table;
+  job.table_name = std::move(envelope.table);
   job.spec = std::move(envelope.spec);
   if (envelope.deadline_micros > 0) {
     job.has_deadline = true;
     job.deadline =
         Clock::now() + std::chrono::microseconds(envelope.deadline_micros);
   }
+  EnqueueJob(std::move(job));
+}
+
+void McsortServer::HandleTableOpFrame(const std::shared_ptr<Conn>& conn,
+                                      const Frame& frame) {
+  const uint64_t id = frame.header.request_id;
+  if (!conn->hello_done) {
+    SendError(conn, id, ErrorCode::kProtocolViolation,
+              "table op before HELLO");
+    return;
+  }
+  if (draining_) {
+    SendError(conn, id, ErrorCode::kShuttingDown, "server draining");
+    return;
+  }
+  bool already_running;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
-    conn->query_running = true;
-    conn->inflight_request = id;
-    conn->cancel = job.cancel;
+    already_running = conn->query_running;
+  }
+  if (already_running) {
+    counters_->busy_rejects->Increment();
+    SendError(conn, id, ErrorCode::kBusy, "a request is already in flight");
+    return;
+  }
+  if (inflight_.load(std::memory_order_relaxed) >=
+      options_.max_inflight_queries) {
+    counters_->busy_rejects->Increment();
+    SendError(conn, id, ErrorCode::kBusy, "server at max in-flight requests");
+    return;
+  }
+  TableOpRequest request;
+  if (!DecodeTableOp(frame.payload, &request)) {
+    SendError(conn, id, ErrorCode::kMalformedQuery,
+              "table op payload did not decode");
+    return;
+  }
+  Job job;
+  job.kind = frame.type() == FrameType::kSaveTable ? Job::Kind::kSaveTable
+                                                   : Job::Kind::kLoadTable;
+  job.conn = conn;
+  job.request_id = id;
+  job.table_name = std::move(request.table);
+  EnqueueJob(std::move(job));
+}
+
+void McsortServer::EnqueueJob(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(job.conn->out_mu);
+    job.conn->query_running = true;
+    job.conn->inflight_request = job.request_id;
+    job.conn->cancel = job.cancel;
   }
   inflight_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -796,9 +846,16 @@ void McsortServer::HandleQueryFrame(const std::shared_ptr<Conn>& conn,
 // ---------------------------------------------------------------------------
 
 void McsortServer::WorkerThread() {
-  // One session per (worker, table): QuerySession is single-threaded by
-  // contract, and a worker runs one query at a time.
-  std::unordered_map<const Table*, std::unique_ptr<QuerySession>> sessions;
+  // One session per (worker, table name): QuerySession is single-threaded
+  // by contract, and a worker runs one query at a time. The cached
+  // shared_ptr pins the table across catalog eviction while its session
+  // lives; a LOAD_TABLE that rebinds the name is picked up on the next
+  // query because the cached pointer no longer matches the resolution.
+  struct CachedSession {
+    std::shared_ptr<const Table> table;
+    std::unique_ptr<QuerySession> session;
+  };
+  std::unordered_map<std::string, CachedSession> sessions;
   for (;;) {
     Job job;
     {
@@ -815,16 +872,62 @@ void McsortServer::WorkerThread() {
       jobs_.pop_front();
     }
 
+    std::vector<std::string> frames;
+    if (job.kind != Job::Kind::kQuery) {
+      Timer timer;
+      const bool is_save = job.kind == Job::Kind::kSaveTable;
+      const IoStatus status = is_save ? service_->SaveTable(job.table_name)
+                                      : service_->LoadTable(job.table_name);
+      TableOpReply reply;
+      reply.ok = status.ok();
+      reply.io_code = static_cast<uint8_t>(status.code);
+      reply.detail = status.message;
+      reply.seconds = timer.Seconds();
+      if (status.ok()) {
+        if (const Table* table = service_->FindTable(job.table_name)) {
+          reply.rows = table->row_count();
+        }
+      }
+      service_->metrics()
+          .counter(is_save ? "net.save_table" : "net.load_table")
+          ->Increment();
+      frames.push_back(SealFrame(FrameType::kTableOpReply, 0, job.request_id,
+                                 EncodeTableOpReply(reply)));
+      FinishJob(job, std::move(frames));
+      continue;
+    }
+
     Timer timer;
-    std::unique_ptr<QuerySession>& session = sessions[job.table];
-    if (session == nullptr) session = service_->OpenSession(*job.table);
+    const std::shared_ptr<const Table> table =
+        service_->FindTableShared(job.table_name);
+    if (table == nullptr) {
+      frames.push_back(
+          SealFrame(FrameType::kError, 0, job.request_id,
+                    EncodeError({ErrorCode::kUnknownTable,
+                                 "unknown table: " + job.table_name})));
+      FinishJob(job, std::move(frames));
+      continue;
+    }
+    std::string detail;
+    const ErrorCode invalid = ValidateSpec(*table, job.spec, &detail);
+    if (invalid != ErrorCode::kNone) {
+      frames.push_back(SealFrame(FrameType::kError, 0, job.request_id,
+                                 EncodeError({invalid, detail})));
+      FinishJob(job, std::move(frames));
+      continue;
+    }
+
+    CachedSession& cached = sessions[job.table_name];
+    if (cached.session == nullptr || cached.table != table) {
+      cached.table = table;
+      cached.session = service_->OpenSession(*table);
+    }
     ExecContext ctx;
     ctx.WithToken(job.cancel.token());
     if (job.has_deadline) ctx.WithDeadline(job.deadline);
-    const ExecResult run = session->Execute(job.spec, ctx);
+    const ExecResult run = cached.session->Execute(job.spec, ctx);
     counters_->query_seconds->Record(timer.Seconds());
 
-    std::vector<std::string> frames;
     if (run.ok()) {
       counters_->queries_ok->Increment();
       BuildResultFrames(job.request_id, run.result,
@@ -838,22 +941,26 @@ void McsortServer::WorkerThread() {
           SealFrame(FrameType::kError, 0, job.request_id,
                     EncodeError({code, run.status.detail})));
     }
-    {
-      // One critical section for reply + state clear: a pipelined next
-      // query can only be admitted after this reply is fully queued, so
-      // responses on a connection never interleave.
-      std::lock_guard<std::mutex> lock(job.conn->out_mu);
-      if (!job.conn->closed) {
-        for (std::string& frame : frames) {
-          job.conn->out.push_back(std::move(frame));
-        }
-      }
-      job.conn->query_running = false;
-      job.conn->inflight_request = 0;
-    }
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
-    WakeLoop();
+    FinishJob(job, std::move(frames));
   }
+}
+
+void McsortServer::FinishJob(Job& job, std::vector<std::string> frames) {
+  {
+    // One critical section for reply + state clear: a pipelined next
+    // request can only be admitted after this reply is fully queued, so
+    // responses on a connection never interleave.
+    std::lock_guard<std::mutex> lock(job.conn->out_mu);
+    if (!job.conn->closed) {
+      for (std::string& frame : frames) {
+        job.conn->out.push_back(std::move(frame));
+      }
+    }
+    job.conn->query_running = false;
+    job.conn->inflight_request = 0;
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  WakeLoop();
 }
 
 }  // namespace net

@@ -124,6 +124,9 @@ class McsortServer {
 
   void LoopThread();
   void WorkerThread();
+  // Worker-side epilogue: queue the reply frames, clear the connection's
+  // in-flight state, decrement inflight_, and wake the loop.
+  void FinishJob(Job& job, std::vector<std::string> frames);
 
   // Loop-thread handlers.
   void HandleAccept();
@@ -132,6 +135,10 @@ class McsortServer {
   void DispatchFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
   void HandleQueryFrame(const std::shared_ptr<Conn>& conn,
                         const Frame& frame);
+  void HandleTableOpFrame(const std::shared_ptr<Conn>& conn,
+                          const Frame& frame);
+  // Marks the connection busy and hands the job to the executor workers.
+  void EnqueueJob(Job job);
   void SweepTimeouts();
   void BeginDrain();
   bool DrainComplete() const;

@@ -40,6 +40,8 @@ bool IsClientFrameType(uint8_t type) {
     case FrameType::kMetricsRequest:
     case FrameType::kSchemaRequest:
     case FrameType::kGoodbye:
+    case FrameType::kSaveTable:
+    case FrameType::kLoadTable:
       return true;
     default:
       return false;
@@ -64,6 +66,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kProtocolViolation: return "protocol_violation";
     case ErrorCode::kUnknownTable: return "unknown_table";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kIoError: return "io_error";
   }
   return "unknown";
 }

@@ -54,6 +54,9 @@ enum class FrameType : uint8_t {
   kSchemaRequest = 11,  // client -> server: empty payload
   kSchemaReply = 12,    // server -> client: tables + columns
   kGoodbye = 13,        // client -> server: flush replies, then close
+  kSaveTable = 14,      // client -> server: snapshot a table to the catalog
+  kLoadTable = 15,      // client -> server: load a table from the catalog
+  kTableOpReply = 16,   // server -> client: SAVE/LOAD outcome + timing
 };
 
 // True for the types a client may legally send to the server.
@@ -81,6 +84,7 @@ enum class ErrorCode : uint16_t {
   kProtocolViolation = 13,  // e.g. QUERY before HELLO, duplicate HELLO
   kUnknownTable = 14,       // QUERY named a table the service doesn't have
   kInternal = 15,
+  kIoError = 16,            // SAVE/LOAD_TABLE failed (IoStatus in detail)
 };
 
 // Stable lowercase name ("crc_mismatch", "busy", ...) for metrics keys and

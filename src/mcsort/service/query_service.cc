@@ -9,6 +9,7 @@
 #include "mcsort/common/env.h"
 #include "mcsort/common/timer.h"
 #include "mcsort/cost/calibration.h"
+#include "mcsort/io/snapshot.h"
 #include "mcsort/service/signature.h"
 
 namespace mcsort {
@@ -67,34 +68,201 @@ std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
       new QuerySession(this, table, id, exec));
 }
 
+QueryService::Binding* QueryService::FindBindingLocked(
+    const std::string& name) {
+  if (tables_.empty()) return nullptr;
+  if (name.empty()) return &tables_.front();
+  for (auto& binding : tables_) {
+    if (binding.name == name) return &binding;
+  }
+  return nullptr;
+}
+
+QueryService::Binding& QueryService::UpsertBindingLocked(
+    const std::string& name) {
+  for (auto& binding : tables_) {
+    if (binding.name == name) return binding;
+  }
+  tables_.emplace_back();
+  tables_.back().name = name;
+  return tables_.back();
+}
+
 void QueryService::RegisterTable(const std::string& name,
                                  const Table& table) {
   std::lock_guard<std::mutex> lock(tables_mu_);
-  for (auto& [existing, entry] : tables_) {
-    if (existing == name) {
-      entry = &table;
-      return;
+  Binding& binding = UpsertBindingLocked(name);
+  binding.borrowed = &table;
+  binding.owned.reset();
+}
+
+void QueryService::AdoptTable(const std::string& name, Table table) {
+  auto owned = std::make_shared<Table>(std::move(table));
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  Binding& binding = UpsertBindingLocked(name);
+  binding.borrowed = nullptr;
+  binding.owned = std::move(owned);
+  binding.last_use = ++use_clock_;
+  EvictOverBudgetLocked();
+}
+
+void QueryService::SetCatalog(const CatalogOptions& options) {
+  const std::vector<std::string> on_disk = ListSnapshotTables(options.dir);
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  catalog_ = options;
+  has_catalog_ = !options.dir.empty();
+  for (const std::string& name : on_disk) {
+    UpsertBindingLocked(name).on_disk = true;
+  }
+  metrics_.counter("catalog.tables_on_disk")->Add(on_disk.size());
+}
+
+std::shared_ptr<const Table> QueryService::FindTableShared(
+    const std::string& name) {
+  std::string resolved;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding == nullptr) return nullptr;
+    binding->last_use = ++use_clock_;
+    if (binding->owned != nullptr) return binding->owned;
+    if (binding->borrowed != nullptr) {
+      // Borrowed tables are caller-managed; alias them with a no-op
+      // deleter so every lookup path returns the same handle type.
+      return std::shared_ptr<const Table>(binding->borrowed,
+                                          [](const Table*) {});
+    }
+    if (!binding->on_disk || !has_catalog_) return nullptr;
+    resolved = binding->name;
+  }
+  // Unloaded on-disk table: load outside tables_mu_ (concurrent resident
+  // lookups keep flowing), serialized by load_mu_ so a thundering herd on
+  // one table does a single load.
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(resolved);
+    if (binding != nullptr && binding->owned != nullptr) {
+      return binding->owned;  // another loader won the race
     }
   }
-  tables_.emplace_back(name, &table);
+  if (!LoadTable(resolved).ok()) return nullptr;
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  Binding* binding = FindBindingLocked(resolved);
+  return binding != nullptr ? binding->owned : nullptr;
 }
 
 const Table* QueryService::FindTable(const std::string& name) const {
   std::lock_guard<std::mutex> lock(tables_mu_);
-  if (tables_.empty()) return nullptr;
-  if (name.empty()) return tables_.front().second;
-  for (const auto& [existing, table] : tables_) {
-    if (existing == name) return table;
-  }
-  return nullptr;
+  auto* self = const_cast<QueryService*>(this);
+  const Binding* binding = self->FindBindingLocked(name);
+  return binding != nullptr ? binding->resident() : nullptr;
 }
 
 std::vector<std::string> QueryService::ListTables() const {
   std::lock_guard<std::mutex> lock(tables_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) names.push_back(name);
+  for (const auto& binding : tables_) names.push_back(binding.name);
+  std::sort(names.begin(), names.end());
   return names;
+}
+
+std::string QueryService::DefaultTableName() const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  return tables_.empty() ? std::string() : tables_.front().name;
+}
+
+IoStatus QueryService::SaveTable(const std::string& name) {
+  std::string dir;
+  std::shared_ptr<const Table> table;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    if (!has_catalog_) {
+      return IoStatus::Error(IoCode::kIoError, "no catalog directory");
+    }
+    Binding* binding = FindBindingLocked(name);
+    if (binding == nullptr || binding->resident() == nullptr) {
+      return IoStatus::Error(IoCode::kBadFormat,
+                             "unknown or unloaded table '" + name + "'");
+    }
+    if (binding->name.find('/') != std::string::npos) {
+      return IoStatus::Error(IoCode::kBadFormat, "bad table name");
+    }
+    dir = catalog_.dir + "/" + binding->name;
+    table = binding->owned != nullptr
+                ? binding->owned
+                : std::shared_ptr<const Table>(binding->borrowed,
+                                               [](const Table*) {});
+  }
+  // Snapshot outside the lock: saves are long and tables are immutable.
+  IoStatus st = SaveTableSnapshot(*table, dir);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding != nullptr) binding->on_disk = true;
+    metrics_.counter("catalog.saves")->Increment();
+  }
+  return st;
+}
+
+IoStatus QueryService::LoadTable(const std::string& name) {
+  std::string dir;
+  SnapshotLoadOptions load;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    if (!has_catalog_) {
+      return IoStatus::Error(IoCode::kIoError, "no catalog directory");
+    }
+    if (name.empty() || name.find('/') != std::string::npos) {
+      return IoStatus::Error(IoCode::kBadFormat, "bad table name");
+    }
+    dir = catalog_.dir + "/" + name;
+    load = catalog_.load;
+  }
+  auto loaded = std::make_shared<Table>();
+  IoStatus st = LoadTableSnapshot(dir, load, loaded.get());
+  if (!st.ok()) {
+    metrics_.counter("catalog.load_failures")->Increment();
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  Binding& binding = UpsertBindingLocked(name);
+  binding.borrowed = nullptr;
+  binding.owned = std::move(loaded);
+  binding.on_disk = true;
+  binding.last_use = ++use_clock_;
+  metrics_.counter("catalog.loads")->Increment();
+  EvictOverBudgetLocked();
+  return IoStatus::Ok();
+}
+
+uint64_t QueryService::ResidentOwnedBytesLocked() const {
+  uint64_t total = 0;
+  for (const auto& binding : tables_) {
+    if (binding.owned != nullptr) total += binding.owned->MemoryBytes();
+  }
+  return total;
+}
+
+void QueryService::EvictOverBudgetLocked() {
+  if (!has_catalog_ || catalog_.memory_budget_bytes == 0) return;
+  while (ResidentOwnedBytesLocked() > catalog_.memory_budget_bytes) {
+    // Evict the least-recently-used owned table that is reloadable (has a
+    // snapshot) and not in use outside the catalog. Sessions holding the
+    // shared_ptr keep their table alive; only the catalog reference drops.
+    Binding* victim = nullptr;
+    for (auto& binding : tables_) {
+      if (binding.owned == nullptr || !binding.on_disk) continue;
+      if (binding.owned.use_count() > 1) continue;
+      if (victim == nullptr || binding.last_use < victim->last_use) {
+        victim = &binding;
+      }
+    }
+    if (victim == nullptr) return;  // nothing evictable; over budget stays
+    victim->owned.reset();
+    metrics_.counter("catalog.evictions")->Increment();
+  }
 }
 
 ExecResult QueryService::ExecuteOn(QuerySession* session,

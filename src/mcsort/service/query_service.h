@@ -30,12 +30,25 @@
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/cost/params.h"
 #include "mcsort/engine/query.h"
+#include "mcsort/io/io_status.h"
 #include "mcsort/service/admission.h"
 #include "mcsort/service/metrics.h"
 #include "mcsort/service/plan_cache.h"
 #include "mcsort/storage/table.h"
 
 namespace mcsort {
+
+// On-disk catalog configuration: a directory of table snapshots
+// (io/snapshot.h) that backs the service's named-table registry. Tables
+// discovered there are registered unloaded and materialize on first use;
+// loaded tables are evicted least-recently-used when the resident set
+// exceeds the memory budget (only tables with an on-disk snapshot are
+// evictable — an adopted, never-saved table is pinned).
+struct CatalogOptions {
+  std::string dir;            // snapshot root; empty = no disk catalog
+  SnapshotLoadOptions load;   // buffered vs mmap, checksum verification
+  uint64_t memory_budget_bytes = 0;  // 0 = unlimited
+};
 
 struct ServiceOptions {
   // Workers in the shared morsel-driven pool (>= 1).
@@ -112,11 +125,36 @@ class QueryService {
   // network SCHEMA frame, QUERY's `table` field). Tables are borrowed and
   // must outlive the service; re-registering a name replaces its binding.
   void RegisterTable(const std::string& name, const Table& table);
-  // The table registered under `name`; an empty name resolves the default
-  // (first-registered) table. nullptr when unknown / nothing registered.
+  // Like RegisterTable but the service takes ownership — the path for
+  // ingested and snapshot-loaded tables.
+  void AdoptTable(const std::string& name, Table table);
+
+  // Attaches the on-disk catalog: discovers snapshot directories under
+  // options.dir and registers their names unloaded. Call before serving.
+  void SetCatalog(const CatalogOptions& options);
+
+  // The table registered under `name` (empty = default table). Resident
+  // tables resolve lock-cheap; an unloaded on-disk table is loaded first
+  // (loads serialize; call from a worker, not an event loop). The returned
+  // pointer keeps the table alive across LRU eviction — prefer this over
+  // FindTable whenever a catalog with a memory budget is attached.
+  std::shared_ptr<const Table> FindTableShared(const std::string& name);
+  // Raw-pointer lookup of a *resident* table; nullptr when the name is
+  // unknown or its table is not loaded. The pointer is stable only until
+  // the binding is replaced or evicted.
   const Table* FindTable(const std::string& name) const;
-  // Registered names, in registration order (the first is the default).
+  // Registered names in stable sorted order (wire SCHEMA responses must
+  // not leak registration order).
   std::vector<std::string> ListTables() const;
+  // The default table's name: the first one registered/adopted/discovered.
+  std::string DefaultTableName() const;
+
+  // Snapshot operations against the attached catalog directory (the wire
+  // SAVE_TABLE / LOAD_TABLE opcodes land here). SaveTable snapshots a
+  // registered table to <dir>/<name>; LoadTable (re)loads <dir>/<name>
+  // into memory and binds it, making it immediately queryable.
+  IoStatus SaveTable(const std::string& name);
+  IoStatus LoadTable(const std::string& name);
 
   MetricsRegistry& metrics() { return metrics_; }
   PlanCache& plan_cache() { return plan_cache_; }
@@ -134,6 +172,26 @@ class QueryService {
   ExecResult ExecuteOn(QuerySession* session, const QuerySpec& spec,
                        const ExecContext& ctx);
 
+  // One name's entry in the catalog: at most one of borrowed/owned is set;
+  // neither means "known but unloaded" (an on-disk snapshot).
+  struct Binding {
+    std::string name;
+    const Table* borrowed = nullptr;
+    std::shared_ptr<const Table> owned;
+    bool on_disk = false;
+    uint64_t last_use = 0;
+
+    const Table* resident() const {
+      return borrowed != nullptr ? borrowed : owned.get();
+    }
+  };
+
+  Binding* FindBindingLocked(const std::string& name);
+  Binding& UpsertBindingLocked(const std::string& name);
+  // Drops least-recently-used evictable tables until under budget.
+  void EvictOverBudgetLocked();
+  uint64_t ResidentOwnedBytesLocked() const;
+
   ServiceOptions options_;
   CostParams params_;
   std::unique_ptr<ThreadPool> pool_;
@@ -142,7 +200,14 @@ class QueryService {
   MetricsRegistry metrics_;
   std::atomic<uint64_t> next_session_id_{0};
   mutable std::mutex tables_mu_;
-  std::vector<std::pair<std::string, const Table*>> tables_;
+  std::vector<Binding> tables_;  // registration order; first = default
+  CatalogOptions catalog_;
+  bool has_catalog_ = false;
+  uint64_t use_clock_ = 0;
+  // Serializes snapshot loads so concurrent misses on the same table do
+  // one load; never held together with tables_mu_ around file IO, so
+  // resident lookups stay fast while a load is in flight.
+  std::mutex load_mu_;
 };
 
 }  // namespace mcsort

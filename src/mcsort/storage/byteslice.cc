@@ -27,4 +27,18 @@ ByteSliceColumn ByteSliceColumn::Build(const EncodedColumn& column) {
   return bs;
 }
 
+ByteSliceColumn ByteSliceColumn::FromParts(
+    int width, size_t size, std::vector<AlignedBuffer<uint8_t>> slices) {
+  MCSORT_CHECK(width >= 1 && width <= 64);
+  MCSORT_CHECK(slices.size() == static_cast<size_t>((width + 7) / 8));
+  for (const auto& slice : slices) {
+    MCSORT_CHECK(slice.size() >= slice_bytes(size));
+  }
+  ByteSliceColumn bs;
+  bs.width_ = width;
+  bs.size_ = size;
+  bs.slices_ = std::move(slices);
+  return bs;
+}
+
 }  // namespace mcsort

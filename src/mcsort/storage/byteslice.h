@@ -26,6 +26,15 @@ class ByteSliceColumn {
   // Builds the sliced layout from an encoded column.
   static ByteSliceColumn Build(const EncodedColumn& column);
 
+  // Adopts pre-built slices (the snapshot load path; buffers may be mmap
+  // views). Each slice must hold at least slice_bytes(size) bytes.
+  static ByteSliceColumn FromParts(int width, size_t size,
+                                   std::vector<AlignedBuffer<uint8_t>> slices);
+
+  // Bytes per slice for `n` rows (rows padded to a 32-byte SIMD block) —
+  // fixes the serialized slice length in the snapshot format.
+  static size_t slice_bytes(size_t n) { return (n + 31) / 32 * 32; }
+
   int width() const { return width_; }
   size_t size() const { return size_; }
   int num_slices() const { return static_cast<int>(slices_.size()); }

@@ -64,6 +64,39 @@ class EncodedColumn {
     }
   }
 
+  // Points the column at an externally owned code array (an mmap'd snapshot
+  // section) instead of copying it — the zero-copy load path. `data` must be
+  // aligned for the physical type, hold `n` codes, and outlive the column
+  // (the owning Table pins the mapping). The bytes are read-only: callers
+  // must not write through Data16/32/64 on a view column.
+  void ResetView(int width, PhysicalType type, size_t n, const void* data) {
+    MCSORT_CHECK(width >= 1 && width <= 64);
+    MCSORT_CHECK(width <= 8 * BytesOfPhysicalType(type));
+    width_ = width;
+    type_ = type;
+    size_ = n;
+    data16_.Reset(0);
+    data32_.Reset(0);
+    data64_.Reset(0);
+    switch (type_) {
+      case PhysicalType::kU16:
+        data16_.ResetView(
+            static_cast<uint16_t*>(const_cast<void*>(data)), n);
+        break;
+      case PhysicalType::kU32:
+        data32_.ResetView(
+            static_cast<uint32_t*>(const_cast<void*>(data)), n);
+        break;
+      case PhysicalType::kU64:
+        data64_.ResetView(
+            static_cast<uint64_t*>(const_cast<void*>(data)), n);
+        break;
+    }
+  }
+  bool is_view() const {
+    return data16_.is_view() || data32_.is_view() || data64_.is_view();
+  }
+
   int width() const { return width_; }
   size_t size() const { return size_; }
   PhysicalType type() const { return type_; }

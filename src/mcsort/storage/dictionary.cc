@@ -20,6 +20,16 @@ StringDictionary StringDictionary::Build(
   return dict;
 }
 
+StringDictionary StringDictionary::FromSorted(
+    std::vector<std::string> sorted) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    MCSORT_CHECK(sorted[i - 1] < sorted[i]);
+  }
+  StringDictionary dict;
+  dict.sorted_values_ = std::move(sorted);
+  return dict;
+}
+
 Code StringDictionary::Encode(const std::string& value) const {
   auto it =
       std::lower_bound(sorted_values_.begin(), sorted_values_.end(), value);

@@ -22,6 +22,11 @@ class StringDictionary {
   // Builds the dictionary from the distinct values of `values`.
   static StringDictionary Build(const std::vector<std::string>& values);
 
+  // Adopts an already-sorted, already-deduplicated value list — the
+  // snapshot load path, where the on-disk dictionary is stored in code
+  // order. CHECK-fails if `sorted` is not strictly ascending.
+  static StringDictionary FromSorted(std::vector<std::string> sorted);
+
   // Code of `value`; the value must be present.
   Code Encode(const std::string& value) const;
   // Native value of `code`.
@@ -30,6 +35,8 @@ class StringDictionary {
   size_t size() const { return sorted_values_.size(); }
   // Bits per code: BitsForCount(size()).
   int code_width() const;
+  // All values in code order (code i decodes to values()[i]).
+  const std::vector<std::string>& values() const { return sorted_values_; }
 
  private:
   std::vector<std::string> sorted_values_;

@@ -66,6 +66,33 @@ ColumnStats ColumnStats::BuildSampled(const EncodedColumn& column,
   return stats;
 }
 
+ColumnStatsImage ColumnStats::ToImage() const {
+  ColumnStatsImage image;
+  image.row_count = row_count_;
+  image.distinct_count = distinct_count_;
+  image.min_code = min_code_;
+  image.max_code = max_code_;
+  image.width = width_;
+  image.hist_bits = hist_bits_;
+  image.bucket_rows = bucket_rows_;
+  image.bucket_distinct = bucket_distinct_;
+  return image;
+}
+
+ColumnStats ColumnStats::FromImage(const ColumnStatsImage& image) {
+  ColumnStats stats;
+  stats.row_count_ = image.row_count;
+  stats.distinct_count_ = image.distinct_count;
+  stats.min_code_ = image.min_code;
+  stats.max_code_ = image.max_code;
+  stats.width_ = image.width;
+  stats.hist_bits_ = image.hist_bits;
+  stats.bucket_rows_ = image.bucket_rows;
+  stats.bucket_distinct_ = image.bucket_distinct;
+  stats.EstimateDistinctPrefixes(0);
+  return stats;
+}
+
 double ColumnStats::EstimateDistinctPrefixes(int a) const {
   MCSORT_CHECK(a >= 0);
   if (a > width_) a = width_;

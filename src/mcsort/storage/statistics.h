@@ -18,6 +18,20 @@
 
 namespace mcsort {
 
+// Flattened, serializable view of a ColumnStats — what the snapshot format
+// (io/snapshot.cc) writes and reads, so statistics computed at ingest time
+// survive a restart without a rebuild pass over the column.
+struct ColumnStatsImage {
+  uint64_t row_count = 0;
+  uint64_t distinct_count = 0;
+  Code min_code = 0;
+  Code max_code = 0;
+  int32_t width = 0;
+  int32_t hist_bits = 0;
+  std::vector<uint64_t> bucket_rows;
+  std::vector<uint64_t> bucket_distinct;
+};
+
 class ColumnStats {
  public:
   ColumnStats() = default;
@@ -48,6 +62,12 @@ class ColumnStats {
   // O(1) after the first call per width (plan search calls this in hot
   // loops); the table is built lazily.
   double EstimateDistinctPrefixes(int a) const;
+
+  // Snapshot (de)serialization support. FromImage pre-warms the prefix
+  // cache like BuildSampled does, so restored stats stay race-free under
+  // concurrent readers.
+  ColumnStatsImage ToImage() const;
+  static ColumnStats FromImage(const ColumnStatsImage& image);
 
  private:
   double ComputeDistinctPrefixes(int a) const;

@@ -1,5 +1,6 @@
 #include "mcsort/storage/table.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "mcsort/common/logging.h"
@@ -79,6 +80,75 @@ const ByteSliceColumn& Table::byteslice(const std::string& name) const {
         std::make_unique<ByteSliceColumn>(ByteSliceColumn::Build(entry.column));
   }
   return *entry.byteslice;
+}
+
+const BitWeavingColumn& Table::bitweaving(const std::string& name) const {
+  const Entry& entry = Find(name);
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  if (entry.bitweaving == nullptr) {
+    entry.bitweaving = std::make_unique<BitWeavingColumn>(
+        BitWeavingColumn::Build(entry.column));
+  }
+  return *entry.bitweaving;
+}
+
+Table& Table::AddColumnParts(const std::string& name, EncodedColumn column,
+                             std::unique_ptr<StringDictionary> dict,
+                             int64_t domain_base) {
+  AddColumn(name, std::move(column));
+  Entry& entry = columns_.at(name);
+  entry.dict = std::move(dict);
+  entry.domain_base = domain_base;
+  return *this;
+}
+
+void Table::SetStats(const std::string& name, ColumnStats stats) {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  Find(name).stats = std::make_unique<ColumnStats>(std::move(stats));
+}
+
+void Table::SetByteSlice(const std::string& name, ByteSliceColumn byteslice) {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  Find(name).byteslice =
+      std::make_unique<ByteSliceColumn>(std::move(byteslice));
+}
+
+void Table::SetBitWeaving(const std::string& name,
+                          BitWeavingColumn bitweaving) {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  Find(name).bitweaving =
+      std::make_unique<BitWeavingColumn>(std::move(bitweaving));
+}
+
+void Table::PinResource(std::shared_ptr<void> resource) {
+  pinned_.push_back(std::move(resource));
+}
+
+size_t Table::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  size_t total = 0;
+  for (const auto& [name, entry] : columns_) {
+    total += entry.column.byte_size();
+    if (entry.dict != nullptr) {
+      for (const auto& value : entry.dict->values()) {
+        total += value.size() + sizeof(std::string);
+      }
+    }
+    if (entry.stats != nullptr) {
+      // Two histogram vectors of 2^min(12, width) buckets (statistics.cc).
+      const size_t buckets = size_t{1} << std::min(12, entry.stats->width());
+      total += 2 * buckets * sizeof(uint64_t);
+    }
+    if (entry.byteslice != nullptr) {
+      total += static_cast<size_t>(entry.byteslice->num_slices()) *
+               ByteSliceColumn::slice_bytes(entry.byteslice->size());
+    }
+    if (entry.bitweaving != nullptr) {
+      total += static_cast<size_t>(entry.bitweaving->width()) *
+               entry.bitweaving->words_per_plane() * sizeof(uint64_t);
+    }
+  }
+  return total;
 }
 
 }  // namespace mcsort

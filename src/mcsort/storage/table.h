@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mcsort/io/io_status.h"
+#include "mcsort/storage/bitweaving.h"
 #include "mcsort/storage/byteslice.h"
 #include "mcsort/storage/column.h"
 #include "mcsort/storage/dictionary.h"
@@ -49,11 +51,40 @@ class Table {
   // native value = base + code.
   int64_t domain_base(const std::string& name) const;
 
-  // Statistics / ByteSlice layout, built lazily on first use and cached.
-  // Safe to call from concurrent query sessions: the first builder wins
-  // under a table-wide mutex and everyone reads the immutable result.
+  // Statistics / ByteSlice / BitWeaving layouts, built lazily on first use
+  // and cached. Safe to call from concurrent query sessions: the first
+  // builder wins under a table-wide mutex and everyone reads the immutable
+  // result.
   const ColumnStats& stats(const std::string& name) const;
   const ByteSliceColumn& byteslice(const std::string& name) const;
+  const BitWeavingColumn& bitweaving(const std::string& name) const;
+
+  // --- Snapshot persistence (implemented in io/snapshot.cc) -------------
+  // Writes the table as a versioned on-disk snapshot directory; loads one
+  // back, either copying into fresh buffers (kBuffered) or mapping the
+  // code arrays zero-copy (kMmap; the mapping stays pinned to the table).
+  IoStatus SaveSnapshot(const std::string& dir) const;
+  static IoStatus LoadSnapshot(const std::string& dir,
+                               const SnapshotLoadOptions& options, Table* out);
+
+  // Loader plumbing: adds a column together with its dictionary / domain
+  // base in one call, and installs pre-built caches so a loaded table never
+  // re-derives what the snapshot already carries.
+  Table& AddColumnParts(const std::string& name, EncodedColumn column,
+                        std::unique_ptr<StringDictionary> dict,
+                        int64_t domain_base);
+  void SetStats(const std::string& name, ColumnStats stats);
+  void SetByteSlice(const std::string& name, ByteSliceColumn byteslice);
+  void SetBitWeaving(const std::string& name, BitWeavingColumn bitweaving);
+
+  // Keeps `resource` (e.g. the MmapFile backing zero-copy column views)
+  // alive for the table's lifetime.
+  void PinResource(std::shared_ptr<void> resource);
+
+  // Approximate resident footprint — codes, dictionaries, and cached
+  // auxiliary layouts — used by the catalog's eviction budget. Counts
+  // mmap-viewed codes too (they occupy page cache once touched).
+  size_t MemoryBytes() const;
 
  private:
   struct Entry {
@@ -62,6 +93,7 @@ class Table {
     int64_t domain_base = 0;
     mutable std::unique_ptr<ColumnStats> stats;
     mutable std::unique_ptr<ByteSliceColumn> byteslice;
+    mutable std::unique_ptr<BitWeavingColumn> bitweaving;
   };
 
   const Entry& Find(const std::string& name) const;
@@ -69,6 +101,7 @@ class Table {
   size_t row_count_ = 0;
   std::vector<std::string> names_;
   std::unordered_map<std::string, Entry> columns_;
+  std::vector<std::shared_ptr<void>> pinned_;
   // Guards the lazy stats/byteslice construction only; column data is
   // immutable after loading. Behind a pointer so Table stays movable.
   mutable std::unique_ptr<std::mutex> lazy_mu_ = std::make_unique<std::mutex>();

@@ -64,6 +64,64 @@ TEST(StringDictionaryTest, OrderPreserving) {
   EXPECT_EQ(encoded.codes.width(), 2);
 }
 
+TEST(StringDictionaryTest, EmptyColumn) {
+  auto encoded = EncodeStrings({});
+  EXPECT_EQ(encoded.dictionary.size(), 0u);
+  EXPECT_EQ(encoded.codes.size(), 0u);
+  EXPECT_GE(encoded.codes.width(), 1);  // width stays legal for empty input
+}
+
+TEST(StringDictionaryTest, SingleDistinctValue) {
+  std::vector<std::string> values(64, "only");
+  auto encoded = EncodeStrings(values);
+  EXPECT_EQ(encoded.dictionary.size(), 1u);
+  EXPECT_EQ(encoded.codes.width(), 1);  // 1 distinct still needs one bit
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.codes.Get(i), 0u);
+    EXPECT_EQ(encoded.dictionary.Decode(0), "only");
+  }
+}
+
+TEST(StringDictionaryTest, DuplicateHeavyColumn) {
+  // 10k rows, 3 distinct values: the dictionary must stay tiny and every
+  // row must decode to its original value.
+  const char* pool[] = {"xx", "yy", "zz"};
+  std::vector<std::string> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = pool[i % 3];
+  auto encoded = EncodeStrings(values);
+  EXPECT_EQ(encoded.dictionary.size(), 3u);
+  EXPECT_EQ(encoded.codes.width(), 2);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.dictionary.Decode(encoded.codes.Get(i)), values[i]);
+  }
+}
+
+TEST(StringDictionaryTest, NonAsciiBytewiseOrder) {
+  // Dictionary order is bytewise (memcmp), which for UTF-8 equals code
+  // point order; the empty string sorts first.
+  std::vector<std::string> values = {"żółć", "", "abc", "中文", "Ж"};
+  auto encoded = EncodeStrings(values);
+  EXPECT_EQ(encoded.dictionary.size(), 5u);
+  EXPECT_EQ(encoded.dictionary.Decode(0), "");
+  EXPECT_LT(encoded.dictionary.Encode("abc"), encoded.dictionary.Encode("Ж"));
+  EXPECT_LT(encoded.dictionary.Encode("Ж"), encoded.dictionary.Encode("中文"));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded.dictionary.Decode(encoded.codes.Get(i)), values[i]);
+  }
+}
+
+TEST(StringDictionaryTest, FromSortedMatchesBuild) {
+  const std::vector<std::string> values = {"b", "a", "c", "a"};
+  const StringDictionary built = StringDictionary::Build(values);
+  const StringDictionary adopted = StringDictionary::FromSorted(
+      std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(built.values(), adopted.values());
+  EXPECT_EQ(built.code_width(), adopted.code_width());
+  for (const std::string& v : values) {
+    EXPECT_EQ(built.Encode(v), adopted.Encode(v));
+  }
+}
+
 TEST(DenseEncodingTest, RanksAreOrderPreservingAndMinimalWidth) {
   std::vector<int64_t> values = {100, -7, 100, 3000, 5};
   auto encoded = EncodeDense(values);

@@ -41,6 +41,25 @@ int main() {
   QueryService service(service_options);
   service.RegisterTable("demo", table);
 
+  // Optional on-disk catalog: MCSORT_DATA_DIR names a directory of table
+  // snapshots (written by mcsort_ingest or SAVE_TABLE). Discovered tables
+  // register unloaded and materialize on first query; MCSORT_MMAP=1 maps
+  // code arrays zero-copy instead of buffered reads, and
+  // MCSORT_MEMORY_BUDGET (bytes) bounds the resident set via LRU eviction.
+  const std::string data_dir = DataDirFromEnv();
+  if (!data_dir.empty()) {
+    CatalogOptions catalog;
+    catalog.dir = data_dir;
+    catalog.load.mode = EnvU64("MCSORT_MMAP", 0) != 0
+                            ? SnapshotLoadMode::kMmap
+                            : SnapshotLoadMode::kBuffered;
+    catalog.memory_budget_bytes = EnvU64("MCSORT_MEMORY_BUDGET", 0);
+    service.SetCatalog(catalog);
+    std::printf("catalog: %s (%s load)\n", data_dir.c_str(),
+                catalog.load.mode == SnapshotLoadMode::kMmap ? "mmap"
+                                                             : "buffered");
+  }
+
   net::ServerOptions options = net::ServerOptions::FromEnv();
   net::McsortServer server(&service, options);
   std::string error;

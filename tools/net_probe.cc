@@ -8,7 +8,11 @@
 //
 // Environment: MCSORT_HOST / MCSORT_PORT select the server (port is
 // required), MCSORT_CONNECT_RETRIES (default 50 x 100ms) tolerates a
-// server still starting up.
+// server still starting up. MCSORT_PROBE_TABLE targets the queries at a
+// named catalog table instead of the server default (the ingest smoke
+// test points this at a table mcsort_ingest wrote), and
+// MCSORT_PROBE_SAVE_LOAD=1 additionally exercises the SAVE_TABLE /
+// LOAD_TABLE opcodes (requires the server to have MCSORT_DATA_DIR set).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -214,13 +218,16 @@ int main() {
     Check(t.columns.size() >= 4, "demo table has >= 4 columns");
   }
 
+  const std::string probe_table = EnvStr("MCSORT_PROBE_TABLE", "");
+  QueryCallOptions call;
+  call.table = probe_table;
   const QuerySpec good = QuerySpecBuilder("probe")
                              .Filter("c", CompareOp::kLess, 60000)
                              .GroupBy({"a", "b"})
                              .Sum("m")
                              .Count()
                              .Build();
-  RemoteResult result = client.Query(good);
+  RemoteResult result = client.Query(good, call);
   Check(result.ok(), "good query executes (" + result.error_detail + ")");
   Check(result.summary.num_groups > 0, "good query produced groups");
   Check(result.aggregate_values.size() == 2,
@@ -239,6 +246,31 @@ int main() {
             metrics.find("net.queries") != std::string::npos,
         "metrics dump includes net.* counters");
 
+  // --- SAVE_TABLE / LOAD_TABLE opcodes ------------------------------------
+  // A bogus load must come back as a typed failure reply, never a hang or
+  // a dropped connection — with or without a catalog attached.
+  TableOpResult bogus = client.LoadTable("__no_such_table__");
+  Check(bogus.transport_ok, "LOAD_TABLE of a bogus name gets a reply");
+  Check(!bogus.ok(), "LOAD_TABLE of a bogus name reports failure");
+  if (EnvU64("MCSORT_PROBE_SAVE_LOAD", 0) != 0) {
+    TableOpResult saved = client.SaveTable(probe_table);
+    Check(saved.ok(), "SAVE_TABLE succeeds (" + saved.error_detail +
+                          saved.reply.detail + ")");
+    const std::string load_name =
+        probe_table.empty() ? client.hello().default_table : probe_table;
+    TableOpResult loaded = client.LoadTable(load_name);
+    Check(loaded.ok(), "LOAD_TABLE succeeds (" + loaded.error_detail +
+                           loaded.reply.detail + ")");
+    Check(loaded.reply.rows > 0, "LOAD_TABLE reports the row count");
+    RemoteResult reloaded = client.Query(good, call);
+    Check(reloaded.ok() &&
+              reloaded.summary.num_groups == result.summary.num_groups,
+          "query against the reloaded table matches");
+    std::printf("save/load: table '%s' saved and reloaded, %llu rows\n",
+                load_name.c_str(),
+                static_cast<unsigned long long>(loaded.reply.rows));
+  }
+
   // --- The malformed-frame corpus -----------------------------------------
   const std::vector<FuzzCase> corpus = BuildFuzzCorpus();
   int passed = 0;
@@ -248,7 +280,7 @@ int main() {
   std::printf("fuzz corpus: %d/%zu cases behaved\n", passed, corpus.size());
 
   // --- The server must still be fully functional --------------------------
-  RemoteResult after = client.Query(good);
+  RemoteResult after = client.Query(good, call);
   Check(after.ok(), "server still serves after the fuzz corpus");
   Check(after.summary.num_groups == result.summary.num_groups,
         "post-fuzz query result matches pre-fuzz");
