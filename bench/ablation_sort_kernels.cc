@@ -1,23 +1,32 @@
-// Ablation: SIMD merge-sort vs LSD radix sort as the per-round kernel of
-// multi-column sorting (the paper's Sec. 7 future work: "code massaging
-// would allow a careful choice of the radix size when radix-sorting
-// multiple columns, thereby improving the performance ... with a different
-// flavor").
+// Ablation: the per-round sort kernels of multi-column sorting — SIMD
+// merge-sort (the paper's kernel), LSD radix (Sec. 7 future work), OVC
+// merge (offset-value-coded merges skip full key comparisons), and the
+// CAFS-style counting sort (O(N + K) when the round's distinct count K is
+// small against N).
 //
-// Radix cost scales with ceil(width / radix_bits) *digit passes* while the
-// merge-sort cost scales with the bank (16/32/64) and log N — so the two
-// kernels favour different massage plans: for radix, a plan that trims a
-// round's width below a digit boundary (e.g. 17 -> 16 bits under 8-bit
-// digits) drops a whole pass.
+// Three experiments:
+//   1. Kernel-per-plan table over the Sec. 3 instances — which kernel wins
+//      for which massage plan shape.
+//   2. Cardinality sweep: one 16-bit round at K/N from 2^-16 up to ~1,
+//      the regime split the cost model's counting term must capture
+//      (counting's histogram costs O(2^width); its payoff needs small K
+//      AND a cache-resident histogram).
+//   3. Unforced routing: ROGA with the full kernel mask over the sweep's
+//      statistics — prints the chosen plan with its kernel annotations so
+//      the cost-model crossover can be checked against the measured one.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "mcsort/cost/cost_model.h"
+#include "mcsort/plan/roga.h"
+#include "mcsort/sort/counting_sort.h"
 
 int main() {
   using namespace mcsort;
   const uint64_t n = bench::EnvRows();
-  std::printf("Ablation: merge-sort vs radix kernel; N = %llu rows.\n\n",
+  std::printf("Ablation: per-round sort kernels; N = %llu rows.\n",
               static_cast<unsigned long long>(n));
 
   struct Case {
@@ -33,6 +42,11 @@ int main() {
       {48, 48, {{48, 48}, {32, 32, 32}}},
   };
 
+  MultiColumnSorter merge_sorter(nullptr, SortKernel::kSimdMerge);
+  MultiColumnSorter radix_sorter(nullptr, SortKernel::kRadix);
+  MultiColumnSorter ovc_sorter(nullptr, SortKernel::kOvcMerge);
+  MultiColumnSorter counting_sorter(nullptr, SortKernel::kCounting);
+
   for (const Case& c : cases) {
     bench::Header(std::to_string(c.w1) + "-bit + " + std::to_string(c.w2) +
                   "-bit columns");
@@ -40,10 +54,8 @@ int main() {
     const EncodedColumn c2 = bench::SyntheticColumn(c.w2, n, 72);
     std::vector<MassageInput> inputs = {{&c1, SortOrder::kAscending},
                                         {&c2, SortOrder::kAscending}};
-    MultiColumnSorter merge_sorter(nullptr, SortKernel::kSimdMerge);
-    MultiColumnSorter radix_sorter(nullptr, SortKernel::kRadix);
-    std::printf("%-34s %12s %12s %10s\n", "plan", "merge(ms)", "radix(ms)",
-                "radix/merge");
+    std::printf("%-28s %10s %10s %10s %10s\n", "plan", "merge(ms)",
+                "radix(ms)", "ovc(ms)", "count(ms)");
     for (const auto& widths : c.plans) {
       const MassagePlan plan = MassagePlan::WithMinimalBanks(widths);
       const double merge_s =
@@ -52,13 +64,81 @@ int main() {
       const double radix_s =
           bench::MeasurePlan(inputs, plan, bench::EnvReps(), &radix_sorter)
               .total_seconds();
-      std::printf("%-34s %12s %12s %9.2fx\n", plan.ToString().c_str(),
+      const double ovc_s =
+          bench::MeasurePlan(inputs, plan, bench::EnvReps(), &ovc_sorter)
+              .total_seconds();
+      // Counting degrades per round to merge beyond kCountingMaxWidth
+      // (the executor's feasibility guard) — flagged with a '*'.
+      bool degraded = false;
+      for (int w : widths) degraded = degraded || !CountingSortFeasible(w);
+      const double counting_s =
+          bench::MeasurePlan(inputs, plan, bench::EnvReps(), &counting_sorter)
+              .total_seconds();
+      std::printf("%-28s %10s %10s %10s %9s%c\n", plan.ToString().c_str(),
                   bench::Ms(merge_s).c_str(), bench::Ms(radix_s).c_str(),
-                  merge_s > 0 ? radix_s / merge_s : 0);
+                  bench::Ms(ovc_s).c_str(), bench::Ms(counting_s).c_str(),
+                  degraded ? '*' : ' ');
     }
   }
-  std::printf("\nexpected shape: radix wins on narrow rounds (few digit\n"
-              "passes) and on plans whose rounds end at digit boundaries;\n"
-              "merge-sort wins on wide 64-bit-bank rounds at small-ish N.\n");
+  std::printf("\n(* = counting infeasible on some round; those rounds "
+              "degraded to merge)\n");
+
+  // ------------------------------------------------------------------
+  // Cardinality sweep: one 16-bit round, K distinct values over N rows.
+  // ------------------------------------------------------------------
+  bench::Header("cardinality sweep: 16-bit round, K/N from 2^-16 to ~1");
+  std::printf("%-10s %8s %10s %10s %10s %12s %14s\n", "K", "K/N",
+              "merge(ms)", "ovc(ms)", "count(ms)", "count/merge",
+              "ovc full/emit");
+  for (int log_k = 0; log_k <= 16; log_k += 2) {
+    const uint64_t k = uint64_t{1} << log_k;
+    const EncodedColumn col = bench::SyntheticColumn(16, n, 81 + log_k, k);
+    std::vector<MassageInput> inputs = {{&col, SortOrder::kAscending}};
+    const MassagePlan plan = MassagePlan::WithMinimalBanks({16});
+    const double merge_s =
+        bench::MeasurePlan(inputs, plan, bench::EnvReps(), &merge_sorter)
+            .total_seconds();
+    const MultiColumnSortResult ovc_result =
+        bench::MeasurePlan(inputs, plan, bench::EnvReps(), &ovc_sorter);
+    const double ovc_s = ovc_result.total_seconds();
+    const double counting_s =
+        bench::MeasurePlan(inputs, plan, bench::EnvReps(), &counting_sorter)
+            .total_seconds();
+    const uint64_t emitted = ovc_result.rounds[0].ovc_emitted;
+    const uint64_t full = ovc_result.rounds[0].ovc_full_compares;
+    std::printf("2^%-8d %8.2g %10s %10s %10s %11.2fx %6.1f%%\n", log_k,
+                static_cast<double>(k) / static_cast<double>(n),
+                bench::Ms(merge_s).c_str(), bench::Ms(ovc_s).c_str(),
+                bench::Ms(counting_s).c_str(),
+                merge_s > 0 ? counting_s / merge_s : 0,
+                emitted > 0 ? 100.0 * static_cast<double>(full) /
+                                  static_cast<double>(emitted)
+                            : 0.0);
+  }
+
+  // ------------------------------------------------------------------
+  // Unforced routing: does ROGA pick the counting kernel at low K?
+  // ------------------------------------------------------------------
+  bench::Header("ROGA kernel routing (no forcing, full kernel mask)");
+  const CostModel model(bench::BenchParams());
+  std::printf("%-10s %-40s\n", "K", "chosen plan (round:kernel)");
+  for (int log_k = 0; log_k <= 16; log_k += 4) {
+    const uint64_t k = uint64_t{1} << log_k;
+    const EncodedColumn col = bench::SyntheticColumn(16, n, 81 + log_k, k);
+    std::vector<ColumnStats> storage;
+    const SortInstanceStats stats = bench::StatsFor({&col}, &storage);
+    SearchOptions options;
+    options.kernels = kRoutableKernels;
+    const SearchResult found = RogaSearch(model, stats, options);
+    std::printf("2^%-8d %-40s\n", log_k, found.plan.ToString().c_str());
+  }
+
+  std::printf("\nexpected shape: counting beats merge while K stays far\n"
+              "below N with the 2^16-counter histogram cache-resident;\n"
+              "OVC's full-comparison share *falls* as K grows (ties have\n"
+              "equal codes and must compare keys; distinct byte prefixes\n"
+              "resolve on the code alone); radix wins on narrow rounds\n"
+              "ending at digit boundaries; ROGA's routing crossover should\n"
+              "track the measured count/merge crossover.\n");
   return 0;
 }

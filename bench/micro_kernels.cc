@@ -21,6 +21,7 @@
 #include "mcsort/scan/byteslice_scan.h"
 #include "mcsort/scan/group_scan.h"
 #include "mcsort/scan/lookup.h"
+#include "mcsort/sort/counting_sort.h"
 #include "mcsort/sort/simd_sort.h"
 #include "mcsort/storage/byteslice.h"
 #include "mcsort/storage/column.h"
@@ -92,6 +93,63 @@ void BM_SortPairs64(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_SortPairs64)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// OVC merge kernel at each bank — the calibration targets for the
+// OvcSortParams constants (cycles/row = run formation + passes * merge).
+void BM_OvcSortPairs32(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto master = RandomKeys<uint32_t>(n, 32, 21);
+  std::vector<uint32_t> keys(n), oids(n);
+  SortScratch scratch;
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    OvcSortPairs32(keys.data(), oids.data(), n, scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_OvcSortPairs32)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_OvcSortPairs64(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto master = RandomKeys<uint64_t>(n, 64, 22);
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> oids(n);
+  SortScratch scratch;
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    OvcSortPairs64(keys.data(), oids.data(), n, scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_OvcSortPairs64)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// Counting sort across round widths — the domain (2^width) term is the
+// CountingSortParams::per_bucket calibration target; the second range arg
+// is the round width.
+void BM_CountingSortPairs32(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  const auto master = RandomKeys<uint32_t>(n, width, 23);
+  std::vector<uint32_t> keys(n), oids(n);
+  SortScratch scratch;
+  for (auto _ : state) {
+    keys = master;
+    std::iota(oids.begin(), oids.end(), 0);
+    CountingSortPairs32(keys.data(), oids.data(), n, width, scratch);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_CountingSortPairs32)
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 16})
+    ->Args({1 << 20, 8})
+    ->Args({1 << 20, 16})
+    ->Args({1 << 20, 20});
 
 void BM_ParallelSortPairs16(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -20,6 +20,7 @@ tests=(
   parallel_executor_test
   common_test
   simd_sort_test
+  sort_kernels_test
   merge_internal_test
   engine_test
   plan_cache_test

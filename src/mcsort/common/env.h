@@ -67,6 +67,13 @@ inline double RhoFromEnv(double fallback = 0.001) {
   return EnvDouble("MCSORT_RHO", fallback);
 }
 
+// Sort-kernel override (debugging aid, mirrors MCSORT_RHO): MCSORT_KERNELS
+// is a comma-separated allow-list over {merge, ovc, counting, radix}. It
+// restricts ROGA's kernel-choice dimension, and when it names exactly one
+// kernel the executor forces every round to it. Parsed by
+// KernelMaskFromEnv (massage/plan.h), which owns the SortKernel names;
+// this header only documents the spelling next to its sibling knobs.
+
 }  // namespace mcsort
 
 #endif  // MCSORT_COMMON_ENV_H_

@@ -17,6 +17,7 @@
 #include "mcsort/massage/massage.h"
 #include "mcsort/scan/group_scan.h"
 #include "mcsort/scan/lookup.h"
+#include "mcsort/sort/counting_sort.h"
 #include "mcsort/sort/simd_sort.h"
 #include "mcsort/storage/column.h"
 
@@ -244,6 +245,137 @@ void CalibrateSortBank(const CalibrationOptions& options, int bank,
   bp.out_of_cache_merge = std::max(0.1, x[2]);
 }
 
+// --------------------------------------------------------------------------
+// OVC merge kernel constants
+// --------------------------------------------------------------------------
+
+// Same experiment design as CalibrateSortBank, but against the OVC cost
+// shape: {N_sort, rows, rows * binary_passes} with the pass count the
+// model's ceil(log2(group_rows / kOvcRunElems)). Group counts are chosen
+// so every group stays above one base run — the regime where the model
+// ever considers the kernel.
+void CalibrateOvcBank(const CalibrationOptions& options, int bank,
+                      CostParams* params) {
+  const uint64_t n = options.sort_rows;
+  Rng rng(options.seed + 100 + static_cast<uint64_t>(bank));
+  const int width = bank;
+
+  EncodedColumn master;
+  master.ResetTyped(width, PhysicalTypeForWidth(width), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    master.Set(i, rng.Next() & LowBitsMask(width));
+  }
+
+  SortScratch scratch;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (uint64_t groups : {uint64_t{1}, uint64_t{4}, uint64_t{16},
+                          uint64_t{64}, uint64_t{256}}) {
+    const uint64_t group_rows = n / groups;
+    if (group_rows <= kOvcRunElems) continue;
+    const uint64_t used = group_rows * groups;
+    EncodedColumn keys;
+    std::vector<Oid> oids(used);
+    const double seconds = MeasureSeconds(options.repeats, [&] {
+      keys.ResetTyped(width, master.type(), used, /*zero_fill=*/false);
+      for (uint64_t i = 0; i < used; ++i) keys.Set(i, master.Get(i));
+      std::iota(oids.begin(), oids.end(), 0);
+      for (uint64_t g = 0; g < groups; ++g) {
+        const uint64_t begin = g * group_rows;
+        switch (keys.type()) {
+          case PhysicalType::kU16:
+            OvcSortPairs16(keys.Data16() + begin, oids.data() + begin,
+                           group_rows, scratch);
+            break;
+          case PhysicalType::kU32:
+            OvcSortPairs32(keys.Data32() + begin, oids.data() + begin,
+                           group_rows, scratch);
+            break;
+          case PhysicalType::kU64:
+            OvcSortPairs64(keys.Data64() + begin, oids.data() + begin,
+                           group_rows, scratch);
+            break;
+        }
+      }
+    });
+    const double passes = std::max(
+        0.0, std::ceil(std::log2(static_cast<double>(group_rows) /
+                                 static_cast<double>(kOvcRunElems))));
+    a.push_back({static_cast<double>(groups), static_cast<double>(used),
+                 static_cast<double>(used) * passes});
+    b.push_back(SecondsToCycles(seconds, *params));
+  }
+  // Tiny calibrations (smoke tests) may leave fewer group counts above the
+  // one-run floor than the fit has unknowns; keep the defaults then.
+  if (a.size() < 3) return;
+  const std::vector<double> x = SolveLeastSquares(a, b);
+  OvcSortParams& op = params->mutable_ovc(bank);
+  op.overhead = std::max(10.0, x[0]);
+  op.run_form = std::max(0.5, x[1]);
+  op.merge_pass = std::max(0.2, x[2]);
+}
+
+// --------------------------------------------------------------------------
+// Counting kernel constants
+// --------------------------------------------------------------------------
+
+// Counting-sort timings across round widths (domain sizes) and group
+// counts pin the four unknowns: domain walks identify per_bucket, the
+// width sweep moves the histogram in and out of L2 to split row_cache
+// from row_mem, and the grouped runs identify the per-invocation overhead.
+void CalibrateCounting(const CalibrationOptions& options,
+                       CostParams* params) {
+  const uint64_t n = options.sort_rows;
+  Rng rng(options.seed + 200);
+  std::vector<uint32_t> master(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    master[i] = static_cast<uint32_t>(rng.Next());
+  }
+
+  SortScratch scratch;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  const double l2 = static_cast<double>(params->l2_bytes);
+  std::vector<uint32_t> keys(n);
+  std::vector<Oid> oids(n);
+  for (int width : {8, 12, 16, kCountingMaxWidth}) {
+    const double domain = std::pow(2.0, width);
+    const uint32_t mask = static_cast<uint32_t>(LowBitsMask(width));
+    for (uint64_t groups : {uint64_t{1}, uint64_t{256}}) {
+      const uint64_t group_rows = n / groups;
+      const uint64_t used = group_rows * groups;
+      const double seconds = MeasureSeconds(options.repeats, [&] {
+        for (uint64_t i = 0; i < used; ++i) keys[i] = master[i] & mask;
+        std::iota(oids.begin(), oids.begin() + static_cast<ptrdiff_t>(used),
+                  0);
+        for (uint64_t g = 0; g < groups; ++g) {
+          const uint64_t begin = g * group_rows;
+          CountingSortPairs32(keys.data() + begin, oids.data() + begin,
+                              group_rows, width, scratch);
+        }
+      });
+      // Histogram residency as the model sees it: touched counters are the
+      // per-group distinct values, ~min(domain, group rows) for uniform
+      // keys.
+      const double touched =
+          std::min(domain, static_cast<double>(group_rows)) * 8.0;
+      const double hit = std::min(1.0, l2 / touched);
+      a.push_back({static_cast<double>(groups),
+                   static_cast<double>(groups) * domain,
+                   static_cast<double>(used) * hit,
+                   static_cast<double>(used) * (1.0 - hit)});
+      b.push_back(SecondsToCycles(seconds, *params));
+    }
+  }
+  if (a.size() < 4) return;  // under-determined: keep the defaults
+  const std::vector<double> x = SolveLeastSquares(a, b);
+  CountingSortParams& cp = params->counting;
+  cp.overhead = std::max(10.0, x[0]);
+  cp.per_bucket = std::max(0.1, x[1]);
+  cp.row_cache = std::max(0.5, x[2]);
+  cp.row_mem = std::max(cp.row_cache, x[3]);
+}
+
 }  // namespace
 
 CostParams Calibrate(const CalibrationOptions& options) {
@@ -253,7 +385,9 @@ CostParams Calibrate(const CalibrationOptions& options) {
   CalibrateScan(options, &params);
   for (int bank : {16, 32, 64}) {
     CalibrateSortBank(options, bank, &params);
+    CalibrateOvcBank(options, bank, &params);
   }
+  CalibrateCounting(options, &params);
   return params;
 }
 
@@ -269,6 +403,14 @@ bool SaveParams(const CostParams& params, const char* path) {
     std::fprintf(f, "bank%d=%.6g,%.6g,%.6g,%.6g\n", bank, bp.overhead,
                  bp.sort_network, bp.in_cache_merge, bp.out_of_cache_merge);
   }
+  for (int bank : {16, 32, 64}) {
+    const OvcSortParams& op = params.ovc(bank);
+    std::fprintf(f, "ovc%d=%.6g,%.6g,%.6g\n", bank, op.overhead, op.run_form,
+                 op.merge_pass);
+  }
+  std::fprintf(f, "counting=%.6g,%.6g,%.6g,%.6g\n", params.counting.overhead,
+               params.counting.per_bucket, params.counting.row_cache,
+               params.counting.row_mem);
   std::fclose(f);
   return true;
 }
@@ -301,10 +443,27 @@ bool LoadParams(const char* path, CostParams* params) {
       bp.in_cache_merge = c;
       bp.out_of_cache_merge = d;
       ++fields;
+    } else if (std::sscanf(line, "ovc%d=%lf,%lf,%lf", &bank, &a, &b, &c) ==
+               4) {
+      OvcSortParams& op = params->mutable_ovc(bank);
+      op.overhead = a;
+      op.run_form = b;
+      op.merge_pass = c;
+      ++fields;
+    } else if (std::sscanf(line, "counting=%lf,%lf,%lf,%lf", &a, &b, &c,
+                           &d) == 4) {
+      params->counting.overhead = a;
+      params->counting.per_bucket = b;
+      params->counting.row_cache = c;
+      params->counting.row_mem = d;
+      ++fields;
     }
   }
   std::fclose(f);
-  return fields >= 7;
+  // 11 = 4 scalars + 3 banks + 3 OVC banks + counting. Older calibration
+  // files lack the kernel terms; treating them as missing forces one
+  // recalibration rather than routing kernels on stale defaults.
+  return fields >= 11;
 }
 
 namespace {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "mcsort/common/bits.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/massage/fip.h"
+#include "mcsort/sort/counting_sort.h"
+#include "mcsort/sort/simd_sort.h"
 
 namespace mcsort {
 
@@ -90,6 +93,42 @@ double CostModel::LookupCycles(uint64_t n, int width) const {
          (params_.cache_cycles * hit + params_.mem_cycles * (1.0 - hit));
 }
 
+double CostModel::SortCyclesOvc(const GroupShape& shape, int bank) const {
+  if (shape.n_sort < 0.5) return 0.0;
+  // Groups at or below one base run degenerate to the plain SIMD sort:
+  // nothing for codes to accelerate, so the kernel is never preferable.
+  const double run_elems = static_cast<double>(kOvcRunElems);
+  if (shape.avg_group_size <= run_elems) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const OvcSortParams& p = params_.ovc(bank);
+  const double passes =
+      std::max(0.0, std::ceil(std::log2(shape.avg_group_size / run_elems)));
+  return shape.n_sort * p.overhead + shape.rows_to_sort * p.run_form +
+         shape.rows_to_sort * passes * p.merge_pass;
+}
+
+double CostModel::SortCyclesCounting(const GroupShape& shape, int width,
+                                     double avg_group_distinct) const {
+  if (shape.n_sort < 0.5) return 0.0;
+  if (!CountingSortFeasible(width)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const CountingSortParams& p = params_.counting;
+  // Every per-group invocation walks the full 2^width domain (prefix +
+  // regeneration) — the O(K) term that keeps counting out of late rounds
+  // with many small groups.
+  const double domain = std::pow(2.0, width);
+  // Histogram residency: only a group's ~distinct counters are touched;
+  // blend row cost by how much of that working set one L2 holds.
+  const double touched_bytes =
+      std::max(1.0, avg_group_distinct) * static_cast<double>(sizeof(uint64_t));
+  const double hit =
+      std::min(1.0, static_cast<double>(params_.l2_bytes) / touched_bytes);
+  return shape.n_sort * (p.overhead + domain * p.per_bucket) +
+         shape.rows_to_sort * (p.row_cache * hit + p.row_mem * (1.0 - hit));
+}
+
 double CostModel::NextRoundSortCycles(const SortInstanceStats& stats,
                                       int prefix_bits, int bank) const {
   const GroupShape shape =
@@ -97,8 +136,9 @@ double CostModel::NextRoundSortCycles(const SortInstanceStats& stats,
   return SortCycles(shape, bank);
 }
 
-CostModel::PlanEstimate CostModel::Estimate(
-    const MassagePlan& plan, const SortInstanceStats& stats) const {
+CostModel::PlanEstimate CostModel::Estimate(const MassagePlan& plan,
+                                            const SortInstanceStats& stats,
+                                            SortKernelMask kernels) const {
   MCSORT_CHECK(plan.IsValid());
   MCSORT_CHECK(plan.total_width() == stats.total_width());
   PlanEstimate estimate;
@@ -119,12 +159,39 @@ CostModel::PlanEstimate CostModel::Estimate(
     re.n_sort = entering.n_sort;
     re.rows_to_sort = entering.rows_to_sort;
     re.avg_group_size = entering.avg_group_size;
+    // Kernel-choice dimension: cheapest allowed feasible kernel wins the
+    // round; merge is the unconditional fallback.
+    re.kernel = SortKernel::kSimdMerge;
     re.t_sort = SortCycles(entering, round.bank);
+    if ((kernels & KernelBit(SortKernel::kOvcMerge)) != 0) {
+      const double t = SortCyclesOvc(entering, round.bank);
+      if (t < re.t_sort) {
+        re.t_sort = t;
+        re.kernel = SortKernel::kOvcMerge;
+      }
+    }
+    const double exiting_distinct =
+        CompositeDistinct(stats, prefix_bits + round.width);
+    if ((kernels & KernelBit(SortKernel::kCounting)) != 0) {
+      // Distinct codes per sorted group this round: the new composite
+      // distinct spread over the groups entering it, capped by the domain.
+      double avg_group_distinct =
+          entering.n_group > 0.5 ? exiting_distinct / entering.n_group
+                                 : exiting_distinct;
+      avg_group_distinct = std::min(
+          avg_group_distinct,
+          std::pow(2.0, std::min(round.width, kCountingMaxWidth + 1)));
+      const double t =
+          SortCyclesCounting(entering, round.width, avg_group_distinct);
+      if (t < re.t_sort) {
+        re.t_sort = t;
+        re.kernel = SortKernel::kCounting;
+      }
+    }
     if (j > 0) re.t_lookup = LookupCycles(stats.n, round.width);
     re.t_scan = params_.scan_cycles * static_cast<double>(stats.n);
     prefix_bits += round.width;
-    re.n_group = EstimateGroups(stats.n, CompositeDistinct(stats, prefix_bits))
-                     .n_group;
+    re.n_group = EstimateGroups(stats.n, exiting_distinct).n_group;
     estimate.total_cycles += re.t_lookup + re.t_sort + re.t_scan;
     estimate.rounds.push_back(re);
   }

@@ -63,6 +63,8 @@ class CostModel {
     double t_lookup = 0;       // cycles (0 for the first round)
     double t_sort = 0;         // cycles
     double t_scan = 0;         // cycles
+    // Cheapest feasible kernel among the allowed set; t_sort is its cost.
+    SortKernel kernel = SortKernel::kSimdMerge;
   };
   struct PlanEstimate {
     double t_massage = 0;  // cycles
@@ -71,16 +73,22 @@ class CostModel {
   };
 
   // Full estimate of plan `plan` on `stats` (plan width must equal the
-  // instance width).
-  PlanEstimate Estimate(const MassagePlan& plan,
-                        const SortInstanceStats& stats) const;
-  double EstimateCycles(const MassagePlan& plan,
-                        const SortInstanceStats& stats) const {
-    return Estimate(plan, stats).total_cycles;
+  // instance width). `kernels` is the kernel-choice dimension: each round
+  // is costed with the cheapest allowed feasible kernel (merge is always
+  // feasible and is the implicit fallback). The default keeps the paper's
+  // merge-only model.
+  PlanEstimate Estimate(
+      const MassagePlan& plan, const SortInstanceStats& stats,
+      SortKernelMask kernels = KernelBit(SortKernel::kSimdMerge)) const;
+  double EstimateCycles(
+      const MassagePlan& plan, const SortInstanceStats& stats,
+      SortKernelMask kernels = KernelBit(SortKernel::kSimdMerge)) const {
+    return Estimate(plan, stats, kernels).total_cycles;
   }
-  double EstimateSeconds(const MassagePlan& plan,
-                         const SortInstanceStats& stats) const {
-    return EstimateCycles(plan, stats) / (params_.ghz * 1e9);
+  double EstimateSeconds(
+      const MassagePlan& plan, const SortInstanceStats& stats,
+      SortKernelMask kernels = KernelBit(SortKernel::kSimdMerge)) const {
+    return EstimateCycles(plan, stats, kernels) / (params_.ghz * 1e9);
   }
 
   // T_sort of the round that would *follow* a sorted prefix of
@@ -106,6 +114,15 @@ class CostModel {
   GroupShape EstimateGroups(uint64_t n, double prefix_distinct) const;
   // T_sort^k: cost of sorting `shape` with bank `bank` (Eqs. 1-2, 5-8).
   double SortCycles(const GroupShape& shape, int bank) const;
+  // T_sort for the OVC merge kernel: SIMD base-run formation plus scalar
+  // code-driven binary passes. Returns +inf when the shape gives the
+  // kernel no merge passes to accelerate.
+  double SortCyclesOvc(const GroupShape& shape, int bank) const;
+  // T_sort for the counting kernel on a `width`-bit round whose average
+  // group holds `avg_group_distinct` distinct codes (drives the histogram
+  // cache-residency blend). Returns +inf when width is infeasible.
+  double SortCyclesCounting(const GroupShape& shape, int width,
+                            double avg_group_distinct) const;
   // T_lookup for reordering a w-bit column of N codes (Eq. 3).
   double LookupCycles(uint64_t n, int width) const;
 

@@ -21,6 +21,34 @@ struct BankSortParams {
   double out_of_cache_merge = 2.0;
 };
 
+// Per-bank OVC merge kernel constants: SIMD-formed base runs (kOvcRunElems
+// rows each) binary-merged on offset-value codes. The run-formation term
+// reuses the SIMD kernels so it tracks the bank; the per-pass term is
+// scalar, but each pass touches fewer key bytes than a SIMD pass would
+// because codes decide most comparisons.
+struct OvcSortParams {
+  // Fixed cycles per invocation.
+  double overhead = 300.0;
+  // Cycles per code of base-run formation + encoding (one-time).
+  double run_form = 7.0;
+  // Cycles per code per binary merge pass.
+  double merge_pass = 5.0;
+};
+
+// Counting kernel constants (sort/counting_sort.h): histogram + prefix +
+// stable scatter + key regeneration, O(N + K) with K = 2^width.
+struct CountingSortParams {
+  // Fixed cycles per invocation.
+  double overhead = 300.0;
+  // Cycles per *domain value* (prefix walk + regeneration, the O(K) part).
+  double per_bucket = 2.0;
+  // Cycles per row when the histogram is cache-resident...
+  double row_cache = 3.0;
+  // ...and when histogram updates miss (large domains): the cost model
+  // blends the two by the same cache-hit heuristic it uses for lookups.
+  double row_mem = 12.0;
+};
+
 struct CostParams {
   // C_cache / C_mem: access latency of one item in cache vs. memory
   // (Eq. 3).
@@ -34,6 +62,11 @@ struct CostParams {
   BankSortParams bank16;
   BankSortParams bank32;
   BankSortParams bank64;
+
+  OvcSortParams ovc16;
+  OvcSortParams ovc32;
+  OvcSortParams ovc64;
+  CountingSortParams counting;
 
   // M_LLC / M_L2 as used by the model (bytes). The LLC figure is the
   // *effective* value used in the cache-hit-ratio formula; calibration fits
@@ -59,6 +92,21 @@ struct CostParams {
       case 16: return bank16;
       case 32: return bank32;
       default: return bank64;
+    }
+  }
+
+  const OvcSortParams& ovc(int bank_bits) const {
+    switch (bank_bits) {
+      case 16: return ovc16;
+      case 32: return ovc32;
+      default: return ovc64;
+    }
+  }
+  OvcSortParams& mutable_ovc(int bank_bits) {
+    switch (bank_bits) {
+      case 16: return ovc16;
+      case 32: return ovc32;
+      default: return ovc64;
     }
   }
 

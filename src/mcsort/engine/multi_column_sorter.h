@@ -33,6 +33,14 @@ struct RoundProfile {
   size_t num_groups = 0;      // N_group after this round
   size_t num_sorts = 0;       // N_sort: non-singleton groups sorted
 
+  // The kernel that actually executed this round (after plan annotation,
+  // constructor override, and MCSORT_KERNELS forcing are resolved).
+  SortKernel kernel = SortKernel::kSimdMerge;
+  // OVC instrumentation (zero unless kernel == kOvcMerge): merge steps
+  // executed vs. the subset that needed a full key comparison.
+  uint64_t ovc_emitted = 0;
+  uint64_t ovc_full_compares = 0;
+
   // Morsel-driven parallelism instrumentation (all zero for serial runs).
   size_t cooperative_sorts = 0;  // huge segments sorted by the parallel
                                  // split+merge sorter (all workers)
@@ -65,12 +73,12 @@ struct MultiColumnSortResult {
   }
 };
 
-// Which single-column sort kernel executes each round. kSimdMerge is the
-// paper's merge-sort with sorting-network kernel [5]; kRadix is the LSD
-// radix sort of the Sec. 7 extension (cost driven by the round *width*
-// rather than the bank).
-enum class SortKernel { kSimdMerge, kRadix };
-
+// SortKernel itself lives in massage/plan.h (it is a plan dimension now);
+// the executor resolves the effective kernel per round as:
+//   MCSORT_KERNELS forcing (exactly one kernel named)
+//   > constructor-level override (kernel != kSimdMerge, e.g. the radix
+//     benchmarks)
+//   > the plan round's cost-chosen annotation.
 class MultiColumnSorter {
  public:
   // `pool` (optional) parallelizes massaging, lookups, and per-group sorts.
@@ -94,21 +102,28 @@ class MultiColumnSorter {
       const std::vector<MassageInput>& inputs);
 
   // Sorts every non-singleton segment of `keys` in place, permuting the
-  // matching `oids` range. With a multi-worker pool, segments are bucketed
-  // by size: huge ones run the cooperative parallel split+merge sorter
-  // (all banks), mid-size ones are claimed dynamically as morsels of
-  // segments, and tiny (insertion-sort-sized) ones ride in large morsels
-  // to amortize dispatch. Public so the pipeline interpreter shares one
-  // executor with the bulk path. A stoppable `ctx` stops between segments
-  // / morsels / merge chunks; the caller re-checks ctx and discards the
-  // round on a stop.
-  void SortSegments(int bank, EncodedColumn* keys, Oid* oids,
-                    const Segments& segments, RoundProfile* profile,
+  // matching `oids` range, with round kernel `kernel` (subject to the
+  // override resolution described above; the resolved kernel and any OVC
+  // counters are recorded in `profile`). With a multi-worker pool,
+  // segments are bucketed by size: huge ones run the cooperative parallel
+  // sorter of the kernel (merge, OVC, and counting all have one; radix
+  // keeps whole segments), mid-size ones are claimed dynamically as
+  // morsels of segments, and tiny (insertion-sort-sized) ones ride in
+  // large morsels to amortize dispatch. Public so the pipeline interpreter
+  // shares one executor with the bulk path. A stoppable `ctx` stops
+  // between segments / morsels / merge chunks; the caller re-checks ctx
+  // and discards the round on a stop.
+  void SortSegments(int bank, SortKernel kernel, EncodedColumn* keys,
+                    Oid* oids, const Segments& segments,
+                    RoundProfile* profile,
                     const ExecContext* ctx = nullptr);
 
  private:
   ThreadPool* pool_;
   SortKernel kernel_;
+  // MCSORT_KERNELS named exactly one kernel: force it everywhere.
+  bool env_forced_ = false;
+  SortKernel env_kernel_ = SortKernel::kSimdMerge;
   std::vector<SortScratch> scratch_;  // one per worker
 };
 

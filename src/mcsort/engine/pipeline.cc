@@ -29,6 +29,7 @@ std::vector<Instruction> PipelineForPlan(const MassagePlan& plan) {
     sort.op = OpCode::kSimdSort;
     sort.round = static_cast<int>(j);
     sort.bank = plan.round(j).bank;
+    sort.kernel = plan.round(j).kernel;
     pipeline.push_back(sort);
     Instruction scan;
     scan.op = OpCode::kScanGroups;
@@ -103,8 +104,13 @@ std::string PipelineToString(const std::vector<Instruction>& pipeline) {
       case OpCode::kSimdSort:
         out += "(oid, groups) := SIMD-Sort(s" +
                std::to_string(instruction.round) + ", " +
-               std::to_string(instruction.bank) + ", " +
-               (instruction.round == 0 ? "nil" : "groups") + ")\n";
+               std::to_string(instruction.bank) +
+               // Non-default kernels are annotated, like MassagePlan's
+               // ToString; plain merge rounds render unchanged.
+               (instruction.kernel != SortKernel::kSimdMerge
+                    ? std::string(":") + SortKernelName(instruction.kernel)
+                    : std::string()) +
+               ", " + (instruction.round == 0 ? "nil" : "groups") + ")\n";
         break;
       case OpCode::kScanGroups:
         out += "groups := Scan(s" + std::to_string(instruction.round) +
@@ -171,8 +177,9 @@ MultiColumnSortResult ExecutePipeline(
       }
       case OpCode::kSimdSort: {
         sorter.SortSegments(
-            instruction.bank, key_for(instruction.round), result.oids.data(),
-            segments, &result.rounds[static_cast<size_t>(instruction.round)],
+            instruction.bank, instruction.kernel, key_for(instruction.round),
+            result.oids.data(), segments,
+            &result.rounds[static_cast<size_t>(instruction.round)],
             stoppable ? &ctx : nullptr);
         break;
       }

@@ -42,6 +42,9 @@ struct Instruction {
   OpCode op = OpCode::kSimdSort;
   int round = 0;      // which round key the instruction touches
   int bank = 0;       // kSimdSort: SIMD bank
+  // kSimdSort: cost-chosen round kernel (plan annotation carried through
+  // the rewrite so the interpreter dispatches like MultiColumnSorter).
+  SortKernel kernel = SortKernel::kSimdMerge;
   MassagePlan plan;   // kCodeMassage: the massage plan (identity for P0)
 };
 

@@ -1,12 +1,55 @@
 #include "mcsort/massage/plan.h"
 
+#include <cctype>
 #include <numeric>
 #include <utility>
 
 #include "mcsort/common/bits.h"
+#include "mcsort/common/env.h"
 #include "mcsort/common/logging.h"
 
 namespace mcsort {
+
+const char* SortKernelName(SortKernel kernel) {
+  switch (kernel) {
+    case SortKernel::kSimdMerge: return "merge";
+    case SortKernel::kRadix: return "radix";
+    case SortKernel::kOvcMerge: return "ovc";
+    case SortKernel::kCounting: return "counting";
+  }
+  return "?";
+}
+
+SortKernelMask ParseKernelMask(const std::string& text,
+                               SortKernelMask fallback) {
+  SortKernelMask mask = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    // Trim surrounding whitespace: "ovc, counting" must parse.
+    size_t begin = pos;
+    size_t end = comma;
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    const std::string token = text.substr(begin, end - begin);
+    if (token == "merge" || token == "simd") {
+      mask |= KernelBit(SortKernel::kSimdMerge);
+    } else if (token == "ovc") {
+      mask |= KernelBit(SortKernel::kOvcMerge);
+    } else if (token == "counting") {
+      mask |= KernelBit(SortKernel::kCounting);
+    } else if (token == "radix") {
+      mask |= KernelBit(SortKernel::kRadix);
+    }
+    pos = comma + 1;
+  }
+  return mask == 0 ? fallback : mask;
+}
+
+SortKernelMask KernelMaskFromEnv(SortKernelMask fallback) {
+  return ParseKernelMask(EnvStr("MCSORT_KERNELS", ""), fallback);
+}
 
 MassagePlan::MassagePlan(std::vector<Round> rounds)
     : rounds_(std::move(rounds)) {}
@@ -54,6 +97,11 @@ std::string MassagePlan::ToString() const {
     out += "R" + std::to_string(i + 1) + ": " +
            std::to_string(rounds_[i].width) + "/[" +
            std::to_string(rounds_[i].bank) + "]";
+    // Non-default kernels are annotated; the paper's notation stays
+    // unchanged for plain merge rounds (tests compare against it).
+    if (rounds_[i].kernel != SortKernel::kSimdMerge) {
+      out += std::string(":") + SortKernelName(rounds_[i].kernel);
+    }
   }
   out += "}";
   return out;

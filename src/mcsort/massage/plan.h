@@ -11,16 +11,54 @@
 #ifndef MCSORT_MASSAGE_PLAN_H_
 #define MCSORT_MASSAGE_PLAN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace mcsort {
 
+// Which single-column sort kernel executes a round. kSimdMerge is the
+// paper's merge-sort with sorting-network kernel [5]; kRadix is the LSD
+// radix sort of the Sec. 7 extension (cost driven by the round *width*
+// rather than the bank); kOvcMerge forms SIMD-sorted runs but merges them
+// with offset-value codes (Do & Graefe) that skip full key comparisons
+// when prefixes match; kCounting is the CAFS-style O(N + K) frequency sort
+// for rounds whose domain (and distinct count) is small relative to N.
+enum class SortKernel { kSimdMerge, kRadix, kOvcMerge, kCounting };
+
+const char* SortKernelName(SortKernel kernel);
+
+// Bitmask over SortKernel values — the plan search's kernel-choice
+// dimension. kRoutableKernels are the kernels the cost model can estimate
+// and ROGA routes between; kRadix stays a manual override (no calibrated
+// cost term) selectable only via MCSORT_KERNELS or the sorter constructor.
+using SortKernelMask = uint32_t;
+constexpr SortKernelMask KernelBit(SortKernel kernel) {
+  return SortKernelMask{1} << static_cast<int>(kernel);
+}
+constexpr SortKernelMask kRoutableKernels =
+    KernelBit(SortKernel::kSimdMerge) | KernelBit(SortKernel::kOvcMerge) |
+    KernelBit(SortKernel::kCounting);
+
+// Parses a comma-separated kernel list ("merge", "ovc", "counting",
+// "radix"); unknown tokens are ignored, an empty/unparsable string returns
+// `fallback`.
+SortKernelMask ParseKernelMask(const std::string& text,
+                               SortKernelMask fallback);
+
+// The MCSORT_KERNELS debugging override (mirrors MCSORT_RHO): restricts
+// the planner's kernel-choice dimension, and — when exactly one kernel is
+// named — forces the executor's per-round dispatch to it.
+SortKernelMask KernelMaskFromEnv(SortKernelMask fallback = kRoutableKernels);
+
 // One round of sorting: `width` bits of the concatenated key sorted with a
 // `bank`-bit-bank SIMD-sort. 1 <= width <= bank, bank in {16, 32, 64}.
+// `kernel` is the cost-chosen sort kernel for the round (a pure execution
+// annotation: Lemma 1 output equivalence holds for any kernel choice).
 struct Round {
   int width = 0;
   int bank = 0;
+  SortKernel kernel = SortKernel::kSimdMerge;
 
   friend bool operator==(const Round&, const Round&) = default;
 };
@@ -40,6 +78,9 @@ class MassagePlan {
   const std::vector<Round>& rounds() const { return rounds_; }
   size_t num_rounds() const { return rounds_.size(); }
   const Round& round(size_t i) const { return rounds_[i]; }
+  // Mutable access for kernel annotation (the plan search stamps the
+  // cost-chosen kernel onto each round of the winning plan).
+  Round* mutable_round(size_t i) { return &rounds_[i]; }
 
   // W: total bits covered by the plan.
   int total_width() const;

@@ -69,12 +69,23 @@ struct SearchState {
 
   void Consider(const MassagePlan& plan, const SortInstanceStats& stats,
                 const std::vector<int>& order) {
-    const double cycles = model->EstimateCycles(plan, stats);
+    const CostModel::PlanEstimate est =
+        model->Estimate(plan, stats, options->kernels);
     ++plans_costed;
-    if (cycles < best_cycles) {
-      best_cycles = cycles;
+    if (est.total_cycles < best_cycles) {
+      best_cycles = est.total_cycles;
       best_plan = plan;
+      AnnotateKernels(&best_plan, est);
       best_order = order;
+    }
+  }
+
+  // Stamps the cost-chosen kernel of each round onto the plan, so the
+  // executor dispatches without re-running the model.
+  static void AnnotateKernels(MassagePlan* plan,
+                              const CostModel::PlanEstimate& est) {
+    for (size_t j = 0; j < plan->num_rounds(); ++j) {
+      plan->mutable_round(j)->kernel = est.rounds[j].kernel;
     }
   }
 };
@@ -190,7 +201,12 @@ SearchResult RogaSearch(const CostModel& model, const SortInstanceStats& stats,
   if (!WithinBankCap(state.best_plan, options.max_bank)) {
     state.best_plan = NarrowestPlan(stats.total_width(), options.max_bank);
   }
-  state.best_cycles = model.EstimateCycles(state.best_plan, stats);
+  {
+    const CostModel::PlanEstimate est =
+        model.Estimate(state.best_plan, stats, options.kernels);
+    state.best_cycles = est.total_cycles;
+    SearchState::AnnotateKernels(&state.best_plan, est);
+  }
   state.best_order = identity;
   state.plans_costed = 1;
 

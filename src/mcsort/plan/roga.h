@@ -69,6 +69,11 @@ struct SearchOptions {
   // observed (flagged as timed_out). The caller re-checks the context and
   // discards the result on a stop. Borrowed; may be null.
   const ExecContext* ctx = nullptr;
+  // Kernel-choice dimension: every candidate plan is costed with the
+  // cheapest allowed kernel per round (cost_model.h), and the winning
+  // plan's rounds are annotated with the chosen kernels for the executor.
+  // Defaults to all routable kernels, restrictable via MCSORT_KERNELS.
+  SortKernelMask kernels = KernelMaskFromEnv();
 };
 
 struct SearchResult {

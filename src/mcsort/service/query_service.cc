@@ -349,19 +349,34 @@ ExecResult QueryService::ExecuteOn(QuerySession* session,
   metrics_.histogram("query.plan_seconds")->Record(result.plan_seconds);
   metrics_.histogram("query.mcs_seconds")->Record(result.mcs_seconds);
   metrics_.histogram("query.post_seconds")->Record(result.post_seconds);
-  // Morsel-driven parallelism, surfaced from the sort's RoundProfiles.
+  // Morsel-driven parallelism and kernel routing, surfaced from the
+  // sort's RoundProfiles.
   uint64_t sort_morsels = 0, lookup_morsels = 0, scan_chunks = 0;
   uint64_t cooperative = 0;
+  uint64_t ovc_full = 0, ovc_emitted = 0;
   for (const RoundProfile& round : result.sort_profile.rounds) {
     sort_morsels += round.sort_morsels;
     lookup_morsels += round.lookup_morsels;
     scan_chunks += round.scan_chunks;
     cooperative += round.cooperative_sorts;
+    // Per-kernel routing mix: how many rounds each kernel executed and
+    // how much sort time it absorbed, so DumpMetrics shows whether ROGA
+    // actually routes (sort.kernel.counting.rounds > 0 etc.).
+    const std::string kernel = SortKernelName(round.kernel);
+    metrics_.counter("sort.kernel." + kernel + ".rounds")->Increment();
+    metrics_.histogram("sort.kernel." + kernel + ".seconds")
+        ->Record(round.sort_seconds);
+    ovc_full += round.ovc_full_compares;
+    ovc_emitted += round.ovc_emitted;
   }
   metrics_.counter("morsels.sort")->Add(sort_morsels);
   metrics_.counter("morsels.lookup")->Add(lookup_morsels);
   metrics_.counter("morsels.scan")->Add(scan_chunks);
   metrics_.counter("morsels.cooperative_sorts")->Add(cooperative);
+  // OVC effectiveness: merge steps emitted vs. the subset that fell back
+  // to a full key comparison (lower ratio = codes doing more work).
+  metrics_.counter("sort.ovc.emitted")->Add(ovc_emitted);
+  metrics_.counter("sort.ovc.full_compares")->Add(ovc_full);
   return out;
 }
 

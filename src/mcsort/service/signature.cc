@@ -33,6 +33,7 @@ StatsFingerprint FingerprintOf(const ColumnStats& stats) {
   fp.min_code = stats.min_code();
   fp.max_code = stats.max_code();
   fp.width = stats.width();
+  fp.distinct_sketch = stats.DistinctSketch();
   return fp;
 }
 
@@ -54,6 +55,12 @@ double FingerprintDrift(const StatsFingerprint& cached,
       cached.max_code != current.max_code) {
     drift = std::max(drift, relative(cached.max_code - cached.min_code + 1,
                                      current.max_code - current.min_code + 1));
+  }
+  // A changed distinct-distribution sketch can flip the cost-chosen round
+  // kernels even at matching totals; push the drift past the staleness
+  // threshold so the cached plan is re-searched.
+  if (cached.distinct_sketch != current.distinct_sketch) {
+    drift = std::max(drift, 0.25);
   }
   return drift;
 }

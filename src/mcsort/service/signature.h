@@ -30,6 +30,11 @@ struct StatsFingerprint {
   Code min_code = 0;
   Code max_code = 0;
   int width = 0;
+  // ColumnStats::DistinctSketch() at plan time. The kernel router chooses
+  // counting vs. merge rounds from the distinct *distribution*, so a
+  // reshaped distribution (same totals, different histogram) must count as
+  // drift or a cached plan keeps a stale kernel choice.
+  uint64_t distinct_sketch = 0;
 
   friend bool operator==(const StatsFingerprint&,
                          const StatsFingerprint&) = default;

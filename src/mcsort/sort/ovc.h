@@ -1,0 +1,205 @@
+// Offset-value coding for the merge phase of the per-round sort ("Robust
+// and Efficient Sorting with Offset-Value Coding", Do & Graefe — see
+// PAPERS.md). Massaged rounds produce exactly the narrow shared-prefix
+// keys OVC loves: within a sorted run, most neighbours agree on a long
+// key prefix, so the code of an element relative to its predecessor
+// usually decides a merge comparison without touching the full key.
+//
+// Encoding: keys are treated as k = bank/8 big-endian byte digits. The
+// code of x relative to its in-run predecessor p (p <= x) is
+//
+//   code(x | p) = ((k - o) << 8) | byte_o(x),   o = first differing byte
+//   code(x | p) = 0                             when x == p
+//
+// so codes order *ascending* exactly like the keys they describe, as long
+// as both comparands are coded against the same reference. The first
+// element of a run is coded as if it differed at byte 0 (o = 0), which is
+// a valid code against the virtual "minus infinity" reference shared by
+// both runs at merge start. The largest possible code, (8 << 8) | 255,
+// fits a uint16.
+//
+// Merge invariant (the tree-of-losers argument specialized to a binary
+// merge): both stream heads carry codes relative to the last emitted
+// element. If the codes differ, the smaller code is the smaller key AND
+// the loser's code remains valid relative to the new last-emitted element
+// (the winner agrees with the old reference at least as deep as the loser
+// differs from it). Only equal nonzero codes need a full key comparison,
+// after which the loser is re-coded against the winner. Equal keys emit
+// from run A first (deterministic) and the loser's code becomes 0.
+//
+// Because every emitted element's held code is, by the invariant, its code
+// relative to the previously emitted element, the output run's code array
+// is produced for free during the merge — codes propagate through all
+// merge passes with zero recomputation.
+#ifndef MCSORT_SORT_OVC_H_
+#define MCSORT_SORT_OVC_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mcsort {
+namespace sort_internal {
+
+using OvcCode = uint16_t;
+
+// Code of `x` relative to predecessor `prev` (requires prev <= x) for a
+// `Bank`-bit key type K.
+template <int Bank, typename K>
+inline OvcCode OvcRelative(K x, K prev) {
+  const uint64_t diff = static_cast<uint64_t>(x) ^ static_cast<uint64_t>(prev);
+  if (diff == 0) return 0;
+  constexpr int kBytes = Bank / 8;
+  // Index (from the most significant bank byte) of the first differing
+  // byte; countl_zero runs on the 64-bit widening, so discount the pad.
+  const int o = (std::countl_zero(diff) - (64 - Bank)) / 8;
+  const unsigned digit = static_cast<unsigned>(
+      (static_cast<uint64_t>(x) >> (Bank - 8 * (o + 1))) & 0xFF);
+  return static_cast<OvcCode>(((kBytes - o) << 8) | digit);
+}
+
+// Code of a run's first element: offset 0 against the virtual reference.
+template <int Bank, typename K>
+inline OvcCode OvcFirst(K x) {
+  constexpr int kBytes = Bank / 8;
+  const unsigned digit =
+      static_cast<unsigned>((static_cast<uint64_t>(x) >> (Bank - 8)) & 0xFF);
+  return static_cast<OvcCode>((kBytes << 8) | digit);
+}
+
+// Fills codes[0..n) for the sorted run keys[0..n).
+template <int Bank, typename K>
+inline void OvcEncodeRun(const K* keys, OvcCode* codes, size_t n) {
+  if (n == 0) return;
+  codes[0] = OvcFirst<Bank>(keys[0]);
+  for (size_t i = 1; i < n; ++i) {
+    codes[i] = OvcRelative<Bank>(keys[i], keys[i - 1]);
+  }
+}
+
+// Comparison instrumentation: `full_compares` counts merge steps that had
+// to touch the keys (equal codes); `emitted` counts merged elements, i.e.
+// the comparisons a plain comparison-based merge would have performed. The
+// difference is the comparisons offset-value coding skipped.
+struct OvcCounters {
+  uint64_t full_compares = 0;
+  uint64_t emitted = 0;
+};
+
+// Resumable OVC merge of two coded runs. State is plain indices plus the
+// (possibly rewritten) head codes, so a chunked — cancellable — merge
+// carries the invariant across Pull calls with no register state.
+template <int Bank, typename K>
+class OvcMergeStream {
+ public:
+  void Init(const K* ka, const uint32_t* pa, const OvcCode* ca, size_t na,
+            const K* kb, const uint32_t* pb, const OvcCode* cb, size_t nb) {
+    ka_ = ka; pa_ = pa; ca_ = ca; na_ = na;
+    kb_ = kb; pb_ = pb; cb_ = cb; nb_ = nb;
+    ia_ = 0;
+    ib_ = 0;
+    head_ca_ = na > 0 ? ca[0] : OvcCode{0};
+    head_cb_ = nb > 0 ? cb[0] : OvcCode{0};
+  }
+
+  size_t remaining() const { return (na_ - ia_) + (nb_ - ib_); }
+
+  // Emits up to `cap` next elements into (out_k, out_p, out_c), returning
+  // the count (0 iff exhausted). The scalar loop replaces most key
+  // comparisons with one uint16 code comparison; run A wins ties for
+  // determinism.
+  size_t Pull(K* out_k, uint32_t* out_p, OvcCode* out_c, size_t cap,
+              OvcCounters* counters) {
+    size_t out = 0;
+    uint64_t full = 0;
+    while (out < cap && ia_ < na_ && ib_ < nb_) {
+      bool take_a;
+      if (head_ca_ != head_cb_) {
+        take_a = head_ca_ < head_cb_;
+      } else {
+        // Equal codes: the full key comparison OVC could not skip. Equal
+        // keys resolve to run A; the loser is re-coded vs the winner.
+        ++full;
+        take_a = ka_[ia_] <= kb_[ib_];
+      }
+      const bool recode_loser = head_ca_ == head_cb_;
+      if (take_a) {
+        out_k[out] = ka_[ia_];
+        out_p[out] = pa_[ia_];
+        out_c[out] = head_ca_;
+        ++ia_;
+        if (recode_loser) {
+          head_cb_ = OvcRelative<Bank, K>(kb_[ib_], out_k[out]);
+        }
+        head_ca_ = ia_ < na_ ? ca_[ia_] : OvcCode{0};
+      } else {
+        out_k[out] = kb_[ib_];
+        out_p[out] = pb_[ib_];
+        out_c[out] = head_cb_;
+        ++ib_;
+        if (recode_loser) {
+          head_ca_ = OvcRelative<Bank, K>(ka_[ia_], out_k[out]);
+        }
+        head_cb_ = ib_ < nb_ ? cb_[ib_] : OvcCode{0};
+      }
+      ++out;
+    }
+    // One side exhausted: flush the other. The surviving head's
+    // (possibly rewritten) code is valid relative to the last emitted
+    // element, and deeper in-run codes are relative to predecessors, so
+    // copying preserves the invariant.
+    while (out < cap && ia_ < na_) {
+      out_k[out] = ka_[ia_];
+      out_p[out] = pa_[ia_];
+      out_c[out] = head_ca_;
+      ++ia_;
+      head_ca_ = ia_ < na_ ? ca_[ia_] : OvcCode{0};
+      ++out;
+    }
+    while (out < cap && ib_ < nb_) {
+      out_k[out] = kb_[ib_];
+      out_p[out] = pb_[ib_];
+      out_c[out] = head_cb_;
+      ++ib_;
+      head_cb_ = ib_ < nb_ ? cb_[ib_] : OvcCode{0};
+      ++out;
+    }
+    if (counters != nullptr) {
+      counters->full_compares += full;
+      counters->emitted += out;
+    }
+    return out;
+  }
+
+ private:
+  const K* ka_ = nullptr;
+  const uint32_t* pa_ = nullptr;
+  const OvcCode* ca_ = nullptr;
+  size_t na_ = 0;
+  const K* kb_ = nullptr;
+  const uint32_t* pb_ = nullptr;
+  const OvcCode* cb_ = nullptr;
+  size_t nb_ = 0;
+  size_t ia_ = 0;
+  size_t ib_ = 0;
+  OvcCode head_ca_ = 0;
+  OvcCode head_cb_ = 0;
+};
+
+// Merges the pair of coded runs [i, mid) and [mid, stop) of the src
+// arrays into dst[i, stop) in one complete sweep.
+template <int Bank, typename K>
+inline void OvcMergePair(const K* src_k, const uint32_t* src_p,
+                         const OvcCode* src_c, K* dst_k, uint32_t* dst_p,
+                         OvcCode* dst_c, size_t i, size_t mid, size_t stop,
+                         OvcCounters* counters) {
+  OvcMergeStream<Bank, K> stream;
+  stream.Init(src_k + i, src_p + i, src_c + i, mid - i, src_k + mid,
+              src_p + mid, src_c + mid, stop > mid ? stop - mid : 0);
+  stream.Pull(dst_k + i, dst_p + i, dst_c + i, stop - i, counters);
+}
+
+}  // namespace sort_internal
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_OVC_H_

@@ -1,6 +1,7 @@
 #include "mcsort/storage/statistics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_set>
 
@@ -64,6 +65,20 @@ ColumnStats ColumnStats::BuildSampled(const EncodedColumn& column,
   // race on the lazy initialization.
   stats.EstimateDistinctPrefixes(0);
   return stats;
+}
+
+uint64_t ColumnStats::DistinctSketch() const {
+  // FNV-1a over log2 buckets: insensitive to small per-bucket jitter,
+  // sensitive to which buckets hold distinct mass and roughly how much.
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t v) {
+    const int log2 = v == 0 ? 0 : std::bit_width(v);
+    hash ^= static_cast<uint64_t>(log2);
+    hash *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(hist_bits_));
+  for (uint64_t d : bucket_distinct_) mix(d);
+  return hash;
 }
 
 ColumnStatsImage ColumnStats::ToImage() const {

@@ -63,6 +63,13 @@ class ColumnStats {
   // loops); the table is built lazily.
   double EstimateDistinctPrefixes(int a) const;
 
+  // Order-sensitive hash of the log2-bucketed per-bucket distinct counts.
+  // The plan cache folds it into its statistics fingerprint: the kernel
+  // router keys on the distinct *distribution* (it decides counting vs.
+  // merge rounds), so a reshaped distribution must read as drift even when
+  // the total row/distinct counts happen to match.
+  uint64_t DistinctSketch() const;
+
   // Snapshot (de)serialization support. FromImage pre-warms the prefix
   // cache like BuildSampled does, so restored stats stay race-free under
   // concurrent readers.

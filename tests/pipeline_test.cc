@@ -80,7 +80,11 @@ TEST(PipelineTest, FastMcsRewriteStitchesNarrowColumns) {
   f.stats.n = 1 << 22;  // plan for paper-scale N
   const CostModel model(CostParams::Default());
   const auto original = ColumnAtATimePipeline(f.widths);
-  const auto rewritten = RewriteFastMcs(original, model, f.stats);
+  // Merge-only: the rewritten shape under kernel routing is covered by
+  // sort_kernels_test; this test pins the classic 1-round stitch.
+  SearchOptions options;
+  options.kernels = KernelBit(SortKernel::kSimdMerge);
+  const auto rewritten = RewriteFastMcs(original, model, f.stats, options);
   ASSERT_LT(rewritten.size(), original.size());
   EXPECT_EQ(rewritten.size(), 3u);  // massage + sort + scan
   EXPECT_EQ(rewritten[1].op, OpCode::kSimdSort);
