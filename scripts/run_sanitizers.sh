@@ -29,6 +29,7 @@ tests=(
   metrics_test
   net_test
   io_test
+  dist_test
 )
 
 run_flavor() {

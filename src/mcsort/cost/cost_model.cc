@@ -1,6 +1,7 @@
 #include "mcsort/cost/cost_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -17,6 +18,7 @@ SortInstanceStats SortInstanceStats::Permuted(
   MCSORT_CHECK(order.size() == columns.size());
   SortInstanceStats permuted;
   permuted.n = n;
+  permuted.merge_fan_in = merge_fan_in;
   permuted.columns.reserve(columns.size());
   for (int idx : order) {
     permuted.columns.push_back(columns[static_cast<size_t>(idx)]);
@@ -195,7 +197,26 @@ CostModel::PlanEstimate CostModel::Estimate(const MassagePlan& plan,
     estimate.total_cycles += re.t_lookup + re.t_sort + re.t_scan;
     estimate.rounds.push_back(re);
   }
+  // Shard-aware term: the coordinator merge this shard's stream feeds.
+  // Each shard is billed its own rows' share of the merge.
+  if (stats.merge_fan_in > 1) {
+    estimate.t_coord_merge = CoordinatorMergeCycles(
+        stats.n, stats.merge_fan_in, stats.total_width());
+    estimate.total_cycles += estimate.t_coord_merge;
+  }
   return estimate;
+}
+
+double CostModel::CoordinatorMergeCycles(uint64_t n, int fan_in,
+                                         int key_bits) const {
+  if (fan_in <= 1 || n == 0) return 0;
+  const CoordMergeParams& p = params_.coord_merge;
+  const int levels =
+      std::bit_width(static_cast<unsigned>(fan_in) - 1u);  // ceil(log2)
+  const double key_bytes = static_cast<double>((key_bits + 7) / 8);
+  return p.overhead +
+         static_cast<double>(n) * static_cast<double>(levels) *
+             (p.per_element + p.per_key_byte * key_bytes);
 }
 
 }  // namespace mcsort

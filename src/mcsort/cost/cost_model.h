@@ -32,6 +32,11 @@ struct SortInstanceStats {
   uint64_t n = 0;
   // Per input column (most significant first). Pointers are borrowed.
   std::vector<const ColumnStats*> columns;
+  // Shard-aware costing: when this instance is one shard of a distributed
+  // query, the coordinator's merge fan-in (> 1). Every plan estimate then
+  // includes the coordinator-merge term, so the rho search budget is
+  // anchored to the true end-to-end cost. 0 / 1 = single-node.
+  int merge_fan_in = 0;
 
   std::vector<int> widths() const {
     std::vector<int> w;
@@ -69,6 +74,12 @@ class CostModel {
   struct PlanEstimate {
     double t_massage = 0;  // cycles
     std::vector<RoundEstimate> rounds;
+    // Coordinator-merge term (distributed shards only; see
+    // SortInstanceStats::merge_fan_in). Plan-independent — it never flips
+    // the argmin between candidate plans — but it inflates T(P*) and
+    // therefore the rho stopwatch budget, which is the point: a shard
+    // feeding an expensive merge can afford a longer plan search.
+    double t_coord_merge = 0;
     double total_cycles = 0;
   };
 
@@ -90,6 +101,12 @@ class CostModel {
       SortKernelMask kernels = KernelBit(SortKernel::kSimdMerge)) const {
     return EstimateCycles(plan, stats, kernels) / (params_.ghz * 1e9);
   }
+
+  // Calibratable coordinator-merge cost: merging `n` elements of
+  // `key_bits`-bit composite keys from `fan_in` pre-sorted shard streams
+  // through an OVC loser tree (ceil(log2 fan_in) levels). Returns 0 for
+  // fan_in <= 1.
+  double CoordinatorMergeCycles(uint64_t n, int fan_in, int key_bits) const;
 
   // T_sort of the round that would *follow* a sorted prefix of
   // `prefix_bits` bits, when executed with `bank`-bit banks — the greedy

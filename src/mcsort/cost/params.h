@@ -49,6 +49,21 @@ struct CountingSortParams {
   double row_mem = 12.0;
 };
 
+// Coordinator-merge constants (dist/coordinator.h): the loser-tree
+// multiway merge of pre-sorted shard result streams. Costed per element
+// per tree level (ceil(log2 fan_in) comparisons each, most decided by a
+// one-word offset-value-code compare) plus a per-key-byte term for the
+// 128-bit composite keys the comparisons occasionally touch.
+struct CoordMergeParams {
+  // Fixed cycles per merge invocation (tree construction, stream setup).
+  double overhead = 5000.0;
+  // Cycles per element per loser-tree level (code compare + replay step).
+  double per_element = 8.0;
+  // Cycles per key byte touched on the equal-code full-compare path,
+  // amortized over all elements.
+  double per_key_byte = 0.5;
+};
+
 struct CostParams {
   // C_cache / C_mem: access latency of one item in cache vs. memory
   // (Eq. 3).
@@ -67,6 +82,7 @@ struct CostParams {
   OvcSortParams ovc32;
   OvcSortParams ovc64;
   CountingSortParams counting;
+  CoordMergeParams coord_merge;
 
   // M_LLC / M_L2 as used by the model (bytes). The LLC figure is the
   // *effective* value used in the cache-hit-ratio formula; calibration fits

@@ -1,0 +1,49 @@
+// Typed outcome taxonomy of a distributed (coordinator-side) query — the
+// partial-failure vocabulary the coordinator reports and the smoke tooling
+// branches on. Kept separate from net::ErrorCode (what one server answers)
+// and net::ClientStatus (what one call did): a DistStatus summarizes a
+// whole fan-out.
+#ifndef MCSORT_DIST_DIST_STATUS_H_
+#define MCSORT_DIST_DIST_STATUS_H_
+
+#include <cstdint>
+
+namespace mcsort {
+namespace dist {
+
+enum class DistStatus : uint8_t {
+  kOk = 0,
+  // At least one shard produced no result after exhausting its replica
+  // list and retry budget. The merged answer would be silently wrong, so
+  // there is no partial result — only the per-shard error report.
+  kShardFailed,
+  kCancelled,          // the caller cancelled mid-fan-out
+  kDeadlineExceeded,   // the coordinator deadline expired first
+  kBadQuery,           // a shard rejected the spec as semantically invalid
+  kUnsupported,        // spec shape the distributed tier does not cover
+                       // (window / PARTITION BY queries)
+  kMergeError,         // shard streams disagreed structurally (e.g. a
+                       // shard answered without merge-key sections)
+  kNoShards,           // coordinator has no registered shards
+};
+
+// Stable lowercase name ("ok", "shard_failed", ...) for logs and the
+// dist.* metrics keys.
+inline const char* DistStatusName(DistStatus status) {
+  switch (status) {
+    case DistStatus::kOk: return "ok";
+    case DistStatus::kShardFailed: return "shard_failed";
+    case DistStatus::kCancelled: return "cancelled";
+    case DistStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case DistStatus::kBadQuery: return "bad_query";
+    case DistStatus::kUnsupported: return "unsupported";
+    case DistStatus::kMergeError: return "merge_error";
+    case DistStatus::kNoShards: return "no_shards";
+  }
+  return "unknown";
+}
+
+}  // namespace dist
+}  // namespace mcsort
+
+#endif  // MCSORT_DIST_DIST_STATUS_H_

@@ -1,0 +1,118 @@
+#include "mcsort/dist/merge_keys.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+namespace dist {
+namespace {
+
+struct KeyAttr {
+  const EncodedColumn* column;
+  int width;
+  bool descending;
+};
+
+// The 128-bit composite of one row: codes concatenated MSB-first, DESC
+// complemented, left-aligned so unsigned (hi, lo) comparison is the
+// multi-column comparison.
+inline unsigned __int128 KeyOf(const std::vector<KeyAttr>& attrs,
+                               int total_width, Oid oid) {
+  unsigned __int128 key = 0;
+  for (const KeyAttr& a : attrs) {
+    Code code = a.column->Get(oid);
+    if (a.descending) code = ComplementCode(code, a.width);
+    key = (key << a.width) | code;
+  }
+  return key << (128 - total_width);
+}
+
+}  // namespace
+
+MergeKeys ComputeMergeKeys(const Table& table, const QuerySpec& spec,
+                           const QueryResult& result) {
+  MergeKeys out;
+  if (!spec.partition_by.empty() || !spec.window_order_column.empty()) {
+    out.error = "merge keys unsupported for window (PARTITION BY) queries";
+    return out;
+  }
+
+  // Mirror QueryExecutor::ResolveSortAttrs: GROUP BY names (all ascending,
+  // spec order — the coordinator pins fixed_column_order so this IS the
+  // executed order), else ORDER BY names with their directions.
+  std::vector<std::string> names;
+  std::vector<SortOrder> orders;
+  if (!spec.group_by.empty()) {
+    names = spec.group_by;
+    orders.assign(names.size(), SortOrder::kAscending);
+    out.per_group = true;
+  } else {
+    for (const auto& [name, order] : spec.order_by) {
+      names.push_back(name);
+      orders.push_back(order);
+    }
+  }
+  if (names.empty()) {
+    out.error = "merge keys require GROUP BY or ORDER BY attributes";
+    return out;
+  }
+
+  std::vector<KeyAttr> attrs;
+  int total_width = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const EncodedColumn& column = table.column(names[i]);
+    attrs.push_back(
+        {&column, column.width(), orders[i] == SortOrder::kDescending});
+    total_width += column.width();
+  }
+  if (total_width > 128) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "composite sort key is %d bits; merge keys cap at 128",
+                  total_width);
+    out.error = buf;
+    return out;
+  }
+
+  if (out.per_group) {
+    const Segments& groups = result.sort_profile.groups;
+    const size_t n = groups.count();
+    out.hi.reserve(n);
+    out.lo.reserve(n);
+    out.group_sizes.reserve(n);
+    for (size_t g = 0; g < n; ++g) {
+      // Every row of a group shares all sort-attribute codes; the first
+      // row in sorted order is as good a representative as any.
+      const Oid oid = result.result_oids[groups.begin(g)];
+      const unsigned __int128 key = KeyOf(attrs, total_width, oid);
+      out.hi.push_back(static_cast<uint64_t>(key >> 64));
+      out.lo.push_back(static_cast<uint64_t>(key));
+      out.group_sizes.push_back(groups.length(g));
+    }
+  } else {
+    const size_t n = result.result_oids.size();
+    const bool has_goid = table.HasColumn(kGlobalOidColumn);
+    const EncodedColumn* goid =
+        has_goid ? &table.column(kGlobalOidColumn) : nullptr;
+    out.hi.reserve(n);
+    out.lo.reserve(n);
+    if (has_goid) out.global_oids.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      const Oid oid = result.result_oids[r];
+      const unsigned __int128 key = KeyOf(attrs, total_width, oid);
+      out.hi.push_back(static_cast<uint64_t>(key >> 64));
+      out.lo.push_back(static_cast<uint64_t>(key));
+      if (has_goid) {
+        out.global_oids.push_back(static_cast<uint32_t>(goid->Get(oid)));
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace dist
+}  // namespace mcsort

@@ -1,0 +1,80 @@
+// Table partitioner — the scatter half of the distributed tier. Splits
+// one table into N disjoint shard tables (hash or range on a key column),
+// each carrying every original column plus the reserved "__goid" column
+// (dist/merge_keys.h) recording each row's pre-shard oid, so distributed
+// row-level results are comparable against single-node output no matter
+// how rows were scattered.
+//
+// PartitionToSnapshots additionally persists each shard as a PR-5
+// snapshot directory, <out_root>/shard<i>/<name>/ — exactly what
+// mcsort_server's --data_dir catalog loads — so a cluster is "shard once,
+// point N servers at N directories".
+#ifndef MCSORT_DIST_PARTITION_H_
+#define MCSORT_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/storage/table.h"
+
+namespace mcsort {
+namespace dist {
+
+enum class PartitionMode : uint8_t {
+  // shard(row) = mix(key code) % N — near-uniform row counts, groups of
+  // one key value land on one shard only by accident (the merge stitches
+  // the seams either way).
+  kHash,
+  // Equal-width ranges over the key column's [min, max] code span — each
+  // key value lives on exactly one shard, ranges are contiguous in sort
+  // order. Without a key column: contiguous row ranges.
+  kRange,
+};
+
+struct PartitionOptions {
+  int num_shards = 2;
+  PartitionMode mode = PartitionMode::kHash;
+  // Sharding key. Empty: kHash mixes the row id, kRange cuts contiguous
+  // row ranges.
+  std::string key_column;
+  // Attach the "__goid" global-row-id column to every shard (required for
+  // bit-identical distributed ORDER BY verification; costs
+  // BitsForCount(rows) bits/row).
+  bool add_global_oids = true;
+};
+
+struct PartitionResult {
+  bool ok = false;
+  std::string error;
+  // shards[i] holds the rows assigned to shard i, original column order
+  // preserved (plus "__goid" last when requested).
+  std::vector<Table> shards;
+  // Row count per shard (== shards[i].row_count(); kept separately so
+  // callers can report the split without touching the tables).
+  std::vector<uint64_t> shard_rows;
+};
+
+// Splits `table` into options.num_shards in-memory shard tables.
+// Dictionaries and domain bases are copied per shard, so every shard
+// decodes codes identically to the source table.
+PartitionResult PartitionTable(const Table& table,
+                               const PartitionOptions& options);
+
+struct PartitionToDiskResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> shard_dirs;  // <out_root>/shard<i>/<name>
+  std::vector<uint64_t> shard_rows;
+};
+
+// PartitionTable + snapshot each shard under <out_root>/shard<i>/<name>/.
+PartitionToDiskResult PartitionToSnapshots(const Table& table,
+                                           const std::string& name,
+                                           const std::string& out_root,
+                                           const PartitionOptions& options);
+
+}  // namespace dist
+}  // namespace mcsort
+
+#endif  // MCSORT_DIST_PARTITION_H_

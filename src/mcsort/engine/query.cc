@@ -59,6 +59,9 @@ QueryExecutor::SortAttrs QueryExecutor::ResolveSortAttrs(
     }
     attrs.permute_prefix = 0;  // ORDER BY attribute order is fixed
   }
+  // Distributed shards sort in the coordinator-pinned canonical order so
+  // their streams merge; the plan search must not permute it.
+  if (spec.fixed_column_order) attrs.permute_prefix = 0;
   return attrs;
 }
 
@@ -67,6 +70,7 @@ SortInstanceStats QueryExecutor::InstanceStats(const QuerySpec& spec,
   const SortAttrs attrs = ResolveSortAttrs(spec);
   SortInstanceStats stats;
   stats.n = row_count;
+  stats.merge_fan_in = spec.merge_fan_in;
   for (const std::string& name : attrs.names) {
     stats.columns.push_back(&table_.stats(name));
   }
@@ -233,6 +237,7 @@ ExecResult QueryExecutor::ExecuteOnce(const QuerySpec& spec,
       timer.Restart();
       SortInstanceStats stats;
       stats.n = n;
+      stats.merge_fan_in = spec.merge_fan_in;
       for (const std::string& name : attrs.names) {
         stats.columns.push_back(&table_.stats(name));
       }

@@ -68,6 +68,19 @@ struct QuerySpec {
   // Ordering of the aggregated result (e.g. TPC-H Q13/Q16's ORDER BY over
   // GROUP BY output). Executed as a second (small) multi-column sort.
   std::vector<ResultOrderSpec> result_order;
+
+  // Distributed execution hooks (src/mcsort/dist/). When set, the GROUP
+  // BY / PARTITION BY column order is NOT order-free: the sort runs in
+  // spec order and ROGA must not permute it. The coordinator pins the
+  // order on every shard so pre-sorted shard streams interleave into one
+  // globally sorted stream — group contents are permutation-independent,
+  // only the canonical emission order matters for the merge.
+  bool fixed_column_order = false;
+  // Fan-in of the coordinator merge this query's result feeds (0 = not a
+  // shard of a distributed query). Threaded into SortInstanceStats so the
+  // cost model adds the coordinator-merge term to every plan estimate —
+  // the rho search budget then reflects the true end-to-end cost.
+  int merge_fan_in = 0;
 };
 
 // Fluent construction of QuerySpecs — replaces the hand-rolled field
@@ -132,6 +145,14 @@ class QuerySpecBuilder {
   QuerySpecBuilder& ResultOrder(std::string key,
                                 SortOrder order = SortOrder::kAscending) {
     spec_.result_order.push_back({std::move(key), order});
+    return *this;
+  }
+  QuerySpecBuilder& FixedColumnOrder(bool fixed = true) {
+    spec_.fixed_column_order = fixed;
+    return *this;
+  }
+  QuerySpecBuilder& MergeFanIn(int fan_in) {
+    spec_.merge_fan_in = fan_in;
     return *this;
   }
 

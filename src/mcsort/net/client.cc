@@ -9,8 +9,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 namespace mcsort {
@@ -93,6 +95,17 @@ bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t len,
 
 }  // namespace
 
+const char* ClientStatusName(ClientStatus status) {
+  switch (status) {
+    case ClientStatus::kOk: return "ok";
+    case ClientStatus::kNotConnected: return "not_connected";
+    case ClientStatus::kTransportError: return "transport_error";
+    case ClientStatus::kCallTimeout: return "call_timeout";
+    case ClientStatus::kServerError: return "server_error";
+  }
+  return "unknown";
+}
+
 McsortClient::McsortClient(const ClientOptions& options) : options_(options) {}
 
 McsortClient::~McsortClient() { Close(); }
@@ -140,6 +153,7 @@ bool McsortClient::Connect(std::string* error) {
   // HELLO handshake.
   HelloRequest hello;
   hello.version = kProtocolVersion;
+  hello.capabilities = kCapMergeKeys;
   hello.client_name = options_.client_name;
   const uint64_t id = NextRequestId();
   if (!SendFrame(FrameType::kHello, id, EncodeHello(hello))) {
@@ -169,6 +183,23 @@ bool McsortClient::Connect(std::string* error) {
     FailTransport();
     return false;
   }
+  // Version range check from the client side: reject a server whose
+  // accepted window [min_version, version] misses ours. (The server does
+  // the symmetric check on our HELLO and answers kUnsupportedVersion.)
+  if (hello_.min_version > kProtocolVersion ||
+      hello_.version < kMinProtocolVersion) {
+    if (error != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "hello: server speaks versions %u..%u, client speaks "
+                    "%u..%u",
+                    hello_.min_version, hello_.version, kMinProtocolVersion,
+                    kProtocolVersion);
+      *error = buf;
+    }
+    FailTransport();
+    return false;
+  }
   return true;
 }
 
@@ -180,11 +211,47 @@ bool McsortClient::SendFrame(FrameType type, uint64_t request_id,
 }
 
 bool McsortClient::ReadReply(uint64_t request_id, Frame* frame) {
+  bool timed_out = false;
+  return ReadReplyUntil(request_id, frame, /*has_deadline=*/false,
+                        std::chrono::steady_clock::time_point{}, &timed_out);
+}
+
+bool McsortClient::ReadReplyUntil(uint64_t request_id, Frame* frame,
+                                  bool has_deadline,
+                                  std::chrono::steady_clock::time_point deadline,
+                                  bool* timed_out) {
+  *timed_out = false;
   for (;;) {
+    if (has_deadline) {
+      const double remaining =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        *timed_out = true;
+        return false;
+      }
+      // Narrow the per-operation receive window to whatever is left of the
+      // call budget (never widening past the configured io timeout).
+      const double window = options_.io_timeout_seconds > 0
+                                ? std::min(options_.io_timeout_seconds,
+                                           remaining)
+                                : remaining;
+      SetSocketTimeout(fd_, SO_RCVTIMEO, window);
+    }
     ErrorCode code = ErrorCode::kNone;
     bool fatal = false;
     const auto next = RecvFrame(fd_, &assembler_, frame, &code, &fatal);
-    if (next != FrameAssembler::Next::kFrame) return false;
+    if (next != FrameAssembler::Next::kFrame) {
+      // A receive that failed with EAGAIN after the call deadline passed is
+      // the narrowed SO_RCVTIMEO firing — report it as a timeout, not a
+      // transport fault.
+      if (has_deadline && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          std::chrono::steady_clock::now() >= deadline) {
+        *timed_out = true;
+      }
+      return false;
+    }
     if (frame->header.request_id == request_id) return true;
     // A stale reply from a request this client abandoned (e.g. the tail of
     // a cancelled query's result stream) — discard and keep reading.
@@ -194,10 +261,19 @@ bool McsortClient::ReadReply(uint64_t request_id, Frame* frame) {
 RemoteResult McsortClient::Query(const QuerySpec& spec,
                                  const QueryCallOptions& options) {
   RemoteResult out;
+  TryQuery(spec, options, &out);
+  return out;
+}
+
+ClientStatus McsortClient::TryQuery(const QuerySpec& spec,
+                                    const QueryCallOptions& options,
+                                    RemoteResult* result) {
+  *result = RemoteResult();
+  RemoteResult& out = *result;
   if (fd_ < 0) {
     out.error = ErrorCode::kInternal;
     out.error_detail = "not connected";
-    return out;
+    return ClientStatus::kNotConnected;
   }
 
   QueryEnvelope envelope;
@@ -207,7 +283,15 @@ RemoteResult McsortClient::Query(const QuerySpec& spec,
         static_cast<uint64_t>(options.deadline_seconds * 1e6);
     if (envelope.deadline_micros == 0) envelope.deadline_micros = 1;
   }
+  envelope.want_merge_keys = options.want_merge_keys;
   envelope.spec = spec;
+
+  const bool has_deadline = options.call_timeout_seconds > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              has_deadline ? options.call_timeout_seconds : 0));
 
   const uint64_t id = NextRequestId();
   inflight_query_.store(id, std::memory_order_release);
@@ -215,17 +299,22 @@ RemoteResult McsortClient::Query(const QuerySpec& spec,
     inflight_query_.store(0, std::memory_order_release);
     out.error_detail = "send failed";
     FailTransport();
-    return out;
+    return ClientStatus::kTransportError;
   }
 
-  ResultAssembler result;
+  ResultAssembler assembler;
   Frame frame;
   for (;;) {
-    if (!ReadReply(id, &frame)) {
+    bool timed_out = false;
+    if (!ReadReplyUntil(id, &frame, has_deadline, deadline, &timed_out)) {
       inflight_query_.store(0, std::memory_order_release);
-      out.error_detail = "connection lost mid-reply";
+      // The server may still be streaming the abandoned result; the stream
+      // position is unrecoverable either way, so the connection dies.
       FailTransport();
-      return out;
+      out.error_detail =
+          timed_out ? "call timed out" : "connection lost mid-reply";
+      return timed_out ? ClientStatus::kCallTimeout
+                       : ClientStatus::kTransportError;
     }
     if (frame.type() == FrameType::kError) {
       inflight_query_.store(0, std::memory_order_release);
@@ -233,42 +322,49 @@ RemoteResult McsortClient::Query(const QuerySpec& spec,
       if (!DecodeError(frame.payload, &info)) {
         out.error_detail = "malformed error frame";
         FailTransport();
-        return out;
+        return ClientStatus::kTransportError;
+      }
+      if (has_deadline) {
+        SetSocketTimeout(fd_, SO_RCVTIMEO, options_.io_timeout_seconds);
       }
       out.transport_ok = true;
       out.error = info.code;
       out.error_detail = info.detail;
       out.status = StatusFromError(info.code);
-      return out;
+      return ClientStatus::kServerError;
     }
     if (frame.type() != FrameType::kResult) {
       // Unrelated frame type with our id — protocol confusion; bail.
       inflight_query_.store(0, std::memory_order_release);
       out.error_detail = "unexpected frame type in result stream";
       FailTransport();
-      return out;
+      return ClientStatus::kTransportError;
     }
-    if (!result.Consume(frame.payload, frame.last_chunk())) {
+    if (!assembler.Consume(frame.payload, frame.last_chunk())) {
       inflight_query_.store(0, std::memory_order_release);
       out.error_detail = "malformed result chunk";
       FailTransport();
-      return out;
+      return ClientStatus::kTransportError;
     }
-    if (result.done()) break;
+    if (assembler.done()) break;
   }
 
   inflight_query_.store(0, std::memory_order_release);
+  if (has_deadline) {
+    SetSocketTimeout(fd_, SO_RCVTIMEO, options_.io_timeout_seconds);
+  }
   out.transport_ok = true;
   out.error = ErrorCode::kNone;
   out.status = ExecStatus::Ok();
-  ResultPayload& payload = result.result();
+  ResultPayload& payload = assembler.result();
   out.summary = payload.summary;
   out.aggregate_values = std::move(payload.aggregate_values);
   out.aggregate_avg = std::move(payload.aggregate_avg);
   out.ranks = std::move(payload.ranks);
   out.result_oids = std::move(payload.result_oids);
   out.result_group_order = std::move(payload.result_group_order);
-  return out;
+  out.extras = std::move(payload.extras);
+  return ClientStatus::kOk;
 }
 
 bool McsortClient::Cancel() {

@@ -12,6 +12,7 @@
 #define MCSORT_NET_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -39,8 +40,32 @@ struct QueryCallOptions {
   // Relative deadline shipped in the QUERY header; 0 = none. The server
   // maps it onto the ExecContext deadline (admission wait + execution).
   double deadline_seconds = 0;
+  // Client-side wall-clock bound on the whole call (0 = none). Unlike
+  // io_timeout_seconds (per socket operation, between frames) this caps
+  // send + all result chunks together. On expiry TryQuery returns
+  // kCallTimeout and the connection is closed — the server may still be
+  // streaming the stale result, so the caller must Connect again (the
+  // coordinator treats it like any transport failure and fails over).
+  double call_timeout_seconds = 0;
+  // Ask the server to append the distributed merge sections (RESULT
+  // sections 6-9) — requires the server to advertise kCapMergeKeys.
+  bool want_merge_keys = false;
   std::string table;  // empty = server default
 };
+
+// Typed outcome of TryQuery — what the *call* did, orthogonal to what the
+// server answered (RemoteResult::error carries the server's verdict when
+// the status is kServerError).
+enum class ClientStatus : uint8_t {
+  kOk = 0,
+  kNotConnected,    // no live connection; Connect (again) first
+  kTransportError,  // socket/framing failed mid-call; connection closed
+  kCallTimeout,     // call_timeout_seconds expired; connection closed
+  kServerError,     // server answered a typed ERROR (see RemoteResult)
+};
+
+// Stable lowercase name ("ok", "transport_error", ...) for logs/metrics.
+const char* ClientStatusName(ClientStatus status);
 
 // Outcome of one remote query. `transport_ok` distinguishes "the wire
 // failed" (connection lost, garbled reply) from "the server answered" —
@@ -57,6 +82,9 @@ struct RemoteResult {
   std::vector<uint32_t> ranks;
   std::vector<uint32_t> result_oids;
   std::vector<uint32_t> result_group_order;
+  // Distributed merge sections (populated when the call set
+  // want_merge_keys and the server supports them).
+  ResultExtras extras;
 
   bool ok() const {
     return transport_ok && error == ErrorCode::kNone && status.ok();
@@ -93,11 +121,24 @@ class McsortClient {
 
   // The server's HELLO_ACK (valid after a successful Connect).
   const HelloReply& hello() const { return hello_; }
+  // Capability bits the server advertised in its HELLO_ACK.
+  uint32_t server_capabilities() const { return hello_.capabilities; }
+  bool ServerHasCapability(uint32_t bit) const {
+    return (hello_.capabilities & bit) != 0;
+  }
 
   // Executes `spec` remotely and reassembles the chunked result. On a
   // transport failure the connection is closed (call Connect again).
   RemoteResult Query(const QuerySpec& spec,
                      const QueryCallOptions& options = {});
+
+  // Non-throwing, typed-status variant: same call, but the caller learns
+  // *why* a call failed without parsing error strings — the coordinator's
+  // retry logic branches on this. `*result` is always filled (on kOk /
+  // kServerError it carries the server's answer; otherwise only
+  // error_detail is meaningful).
+  ClientStatus TryQuery(const QuerySpec& spec, const QueryCallOptions& options,
+                        RemoteResult* result);
 
   // Cancels the Query currently blocked in another thread. Returns false
   // when no query is in flight or the frame could not be sent.
@@ -128,6 +169,12 @@ class McsortClient {
   // Reads frames until one with `request_id` arrives (stale replies from
   // abandoned requests are discarded). False on transport failure.
   bool ReadReply(uint64_t request_id, Frame* frame);
+  // ReadReply bounded by an absolute wall-clock deadline: before each
+  // receive the socket timeout is narrowed to min(io timeout, remaining).
+  // On expiry returns false with *timed_out set.
+  bool ReadReplyUntil(uint64_t request_id, Frame* frame, bool has_deadline,
+                      std::chrono::steady_clock::time_point deadline,
+                      bool* timed_out);
   void FailTransport();
 
   ClientOptions options_;

@@ -23,7 +23,8 @@ FrameAssembler::Next FrameAssembler::Pull(Frame* frame, ErrorCode* error,
     *fatal = true;
     return Next::kBadFrame;
   }
-  if (header.version != kProtocolVersion) {
+  if (header.version < kMinProtocolVersion ||
+      header.version > kProtocolVersion) {
     *error = ErrorCode::kUnsupportedVersion;
     *fatal = true;
     return Next::kBadFrame;

@@ -34,6 +34,7 @@ std::string EncodeHello(const HelloRequest& hello) {
   std::string out;
   WireWriter w(&out);
   w.U16(hello.version);
+  w.U32(hello.capabilities);
   w.Str(hello.client_name);
   return out;
 }
@@ -41,6 +42,7 @@ std::string EncodeHello(const HelloRequest& hello) {
 bool DecodeHello(const std::string& payload, HelloRequest* hello) {
   WireReader r(payload);
   hello->version = r.U16();
+  hello->capabilities = r.U32();
   hello->client_name = r.Str();
   return r.ok();
 }
@@ -49,6 +51,8 @@ std::string EncodeHelloReply(const HelloReply& reply) {
   std::string out;
   WireWriter w(&out);
   w.U16(reply.version);
+  w.U16(reply.min_version);
+  w.U32(reply.capabilities);
   w.Str(reply.server_name);
   w.Str(reply.default_table);
   return out;
@@ -57,6 +61,8 @@ std::string EncodeHelloReply(const HelloReply& reply) {
 bool DecodeHelloReply(const std::string& payload, HelloReply* reply) {
   WireReader r(payload);
   reply->version = r.U16();
+  reply->min_version = r.U16();
+  reply->capabilities = r.U32();
   reply->server_name = r.Str();
   reply->default_table = r.Str();
   return r.ok();
@@ -120,6 +126,11 @@ std::string EncodeQuery(const QueryEnvelope& query) {
     w.Str(ro.key);
     w.U8(static_cast<uint8_t>(ro.order));
   }
+  // Protocol v2: distributed execution fields.
+  w.U8(spec.fixed_column_order ? 1 : 0);
+  w.U16(static_cast<uint16_t>(
+      std::clamp(spec.merge_fan_in, 0, 65535)));
+  w.U8(query.want_merge_keys ? 1 : 0);
   return out;
 }
 
@@ -184,6 +195,9 @@ bool DecodeQuery(const std::string& payload, QueryEnvelope* query) {
     if (o > static_cast<uint8_t>(SortOrder::kDescending)) return false;
     ro.order = static_cast<SortOrder>(o);
   }
+  spec.fixed_column_order = r.U8() != 0;
+  spec.merge_fan_in = r.U16();
+  query->want_merge_keys = r.U8() != 0;
   // Trailing garbage after a well-formed spec is a framing lie: reject.
   return r.AtEnd();
 }
@@ -337,7 +351,8 @@ void ChunkArray(ResultSection section, uint16_t index, const T* data,
 }  // namespace
 
 void BuildResultFrames(uint64_t request_id, const QueryResult& result,
-                       size_t chunk_bytes, std::vector<std::string>* frames) {
+                       size_t chunk_bytes, std::vector<std::string>* frames,
+                       const ResultExtras* extras) {
   // Collect the non-empty sections first so the last chunk of the last
   // section can carry the end-of-stream flag.
   struct Section {
@@ -374,6 +389,28 @@ void BuildResultFrames(uint64_t request_id, const QueryResult& result,
     sections.push_back({ResultSection::kGroupOrder, 0,
                         result.result_group_order.data(),
                         result.result_group_order.size(), sizeof(uint32_t)});
+  }
+  if (extras != nullptr) {
+    if (!extras->merge_key_hi.empty()) {
+      sections.push_back({ResultSection::kMergeKeyHi, 0,
+                          extras->merge_key_hi.data(),
+                          extras->merge_key_hi.size(), sizeof(uint64_t)});
+    }
+    if (!extras->merge_key_lo.empty()) {
+      sections.push_back({ResultSection::kMergeKeyLo, 0,
+                          extras->merge_key_lo.data(),
+                          extras->merge_key_lo.size(), sizeof(uint64_t)});
+    }
+    if (!extras->group_sizes.empty()) {
+      sections.push_back({ResultSection::kGroupSizes, 0,
+                          extras->group_sizes.data(),
+                          extras->group_sizes.size(), sizeof(uint32_t)});
+    }
+    if (!extras->global_oids.empty()) {
+      sections.push_back({ResultSection::kGlobalOids, 0,
+                          extras->global_oids.data(),
+                          extras->global_oids.size(), sizeof(uint32_t)});
+    }
   }
 
   const bool summary_is_last = sections.empty();
@@ -434,26 +471,41 @@ bool ResultAssembler::Consume(const std::string& payload, bool last) {
     case ResultSection::kAggregateAvg:
     case ResultSection::kRanks:
     case ResultSection::kResultOids:
-    case ResultSection::kGroupOrder: {
+    case ResultSection::kGroupOrder:
+    case ResultSection::kMergeKeyHi:
+    case ResultSection::kMergeKeyLo:
+    case ResultSection::kGroupSizes:
+    case ResultSection::kGlobalOids: {
       r.U16();  // index, unused outside aggregate sections
       const uint32_t count = r.U32();
-      const size_t elem = section == static_cast<uint8_t>(
-                                         ResultSection::kAggregateAvg)
+      const ResultSection id = static_cast<ResultSection>(section);
+      const size_t elem = id == ResultSection::kAggregateAvg
                               ? sizeof(double)
+                          : (id == ResultSection::kMergeKeyHi ||
+                             id == ResultSection::kMergeKeyLo)
+                              ? sizeof(uint64_t)
                               : sizeof(uint32_t);
       if (count * elem != r.remaining()) return false;
-      if (section == static_cast<uint8_t>(ResultSection::kAggregateAvg)) {
+      if (id == ResultSection::kAggregateAvg) {
         std::vector<double>& out = result_.aggregate_avg;
+        const size_t old = out.size();
+        out.resize(old + count);
+        if (!r.Array(out.data() + old, count, elem)) return false;
+      } else if (id == ResultSection::kMergeKeyHi ||
+                 id == ResultSection::kMergeKeyLo) {
+        std::vector<uint64_t>& out = id == ResultSection::kMergeKeyHi
+                                         ? result_.extras.merge_key_hi
+                                         : result_.extras.merge_key_lo;
         const size_t old = out.size();
         out.resize(old + count);
         if (!r.Array(out.data() + old, count, elem)) return false;
       } else {
         std::vector<uint32_t>* out =
-            section == static_cast<uint8_t>(ResultSection::kRanks)
-                ? &result_.ranks
-                : section == static_cast<uint8_t>(ResultSection::kResultOids)
-                      ? &result_.result_oids
-                      : &result_.result_group_order;
+            id == ResultSection::kRanks          ? &result_.ranks
+            : id == ResultSection::kResultOids   ? &result_.result_oids
+            : id == ResultSection::kGroupOrder   ? &result_.result_group_order
+            : id == ResultSection::kGroupSizes   ? &result_.extras.group_sizes
+                                                 : &result_.extras.global_oids;
         const size_t old = out->size();
         out->resize(old + count);
         if (!r.Array(out->data() + old, count, elem)) return false;

@@ -31,11 +31,14 @@ namespace net {
 
 struct HelloRequest {
   uint16_t version = kProtocolVersion;
+  uint32_t capabilities = 0;  // kCap* bits the client understands
   std::string client_name;
 };
 
 struct HelloReply {
   uint16_t version = kProtocolVersion;
+  uint16_t min_version = kMinProtocolVersion;  // oldest the server accepts
+  uint32_t capabilities = 0;  // kCap* bits the server offers
   std::string server_name;
   std::string default_table;  // name QUERY resolves when `table` is empty
 };
@@ -68,6 +71,11 @@ struct QueryEnvelope {
   // 0 = none. Mapped onto ExecContext::WithDeadline, so it bounds queue
   // wait + execution together.
   uint64_t deadline_micros = 0;
+  // Coordinator fan-out: ask the server to append the composite merge-key
+  // sections (kMergeKeyHi/Lo, kGroupSizes, kGlobalOids) to the RESULT
+  // stream so sorted shard streams can be loser-tree merged without
+  // shipping the sort columns themselves.
+  bool want_merge_keys = false;
   std::string table;  // empty = the server's default table
   QuerySpec spec;
 };
@@ -135,7 +143,9 @@ bool DecodeTableOpReply(const std::string& payload, TableOpReply* reply);
 // RESULT stream
 // --------------------------------------------------------------------------
 
-// Section ids of the chunked result stream.
+// Section ids of the chunked result stream. 6-9 are the distributed
+// merge sections, present only when the QUERY envelope asked for them
+// (want_merge_keys, protocol v2 / kCapMergeKeys).
 enum class ResultSection : uint8_t {
   kSummary = 0,
   kAggregateValues = 1,  // int64 elements; `index` = aggregate spec index
@@ -143,6 +153,10 @@ enum class ResultSection : uint8_t {
   kRanks = 3,            // uint32 elements
   kResultOids = 4,       // uint32 elements
   kGroupOrder = 5,       // uint32 elements
+  kMergeKeyHi = 6,       // uint64: bits 127..64 of the composite sort key
+  kMergeKeyLo = 7,       // uint64: bits 63..0 (per row / per group)
+  kGroupSizes = 8,       // uint32: rows per group (GROUP BY merges)
+  kGlobalOids = 9,       // uint32: pre-shard oids ("__goid") in row order
 };
 
 // Fixed summary carried by the first RESULT chunk — the scalar half of
@@ -161,6 +175,15 @@ struct ResultSummary {
   uint16_t num_aggregates = 0;
 };
 
+// The distributed merge sections (ResultSection 6-9), computed by
+// dist/merge_keys.h on the server when the QUERY asked for them.
+struct ResultExtras {
+  std::vector<uint64_t> merge_key_hi;
+  std::vector<uint64_t> merge_key_lo;
+  std::vector<uint32_t> group_sizes;
+  std::vector<uint32_t> global_oids;
+};
+
 // Everything a query sends back, reassembled (client side) or about to be
 // chunked (server side).
 struct ResultPayload {
@@ -170,13 +193,16 @@ struct ResultPayload {
   std::vector<uint32_t> ranks;
   std::vector<uint32_t> result_oids;
   std::vector<uint32_t> result_group_order;
+  ResultExtras extras;
 };
 
 // Chunks one successful QueryResult into sealed RESULT frames (header +
 // payload, ready to write), each data chunk at most `chunk_bytes` of
 // element data; the last frame carries kFlagLastChunk. Appends to *frames.
+// `extras` (may be null) appends the distributed merge sections.
 void BuildResultFrames(uint64_t request_id, const QueryResult& result,
-                       size_t chunk_bytes, std::vector<std::string>* frames);
+                       size_t chunk_bytes, std::vector<std::string>* frames,
+                       const ResultExtras* extras = nullptr);
 
 // Client-side reassembly of the RESULT stream. Feed every RESULT payload
 // in arrival order; `last` is the frame's kFlagLastChunk bit. Returns

@@ -18,6 +18,7 @@
 
 #include "mcsort/common/env.h"
 #include "mcsort/common/timer.h"
+#include "mcsort/dist/merge_keys.h"
 
 namespace mcsort {
 namespace net {
@@ -72,6 +73,7 @@ struct McsortServer::Job {
   // catalog table materializes from disk on first use.
   std::string table_name;
   QuerySpec spec;
+  bool want_merge_keys = false;
   bool has_deadline = false;
   Clock::time_point deadline{};
   CancellationSource cancel;
@@ -660,9 +662,14 @@ void McsortServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
         SendError(conn, id, ErrorCode::kMalformedQuery, "bad HELLO payload");
         return;
       }
-      if (hello.version != kProtocolVersion) {
-        SendError(conn, id, ErrorCode::kUnsupportedVersion,
-                  "server speaks version 1", /*close_after=*/true);
+      if (hello.version < kMinProtocolVersion ||
+          hello.version > kProtocolVersion) {
+        char detail[64];
+        std::snprintf(detail, sizeof(detail),
+                      "server speaks versions %d..%d, peer sent %d",
+                      kMinProtocolVersion, kProtocolVersion, hello.version);
+        SendError(conn, id, ErrorCode::kUnsupportedVersion, detail,
+                  /*close_after=*/true);
         return;
       }
       if (conn->hello_done) {
@@ -671,6 +678,7 @@ void McsortServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
       }
       conn->hello_done = true;
       HelloReply reply;
+      reply.capabilities = kCapMergeKeys;
       reply.server_name = options_.server_name;
       reply.default_table = service_->DefaultTableName();
       std::vector<std::string> frames;
@@ -775,6 +783,7 @@ void McsortServer::HandleQueryFrame(const std::shared_ptr<Conn>& conn,
   job.request_id = id;
   job.table_name = std::move(envelope.table);
   job.spec = std::move(envelope.spec);
+  job.want_merge_keys = envelope.want_merge_keys;
   if (envelope.deadline_micros > 0) {
     job.has_deadline = true;
     job.deadline =
@@ -929,6 +938,27 @@ void McsortServer::WorkerThread() {
     counters_->query_seconds->Record(timer.Seconds());
 
     if (run.ok()) {
+      if (job.want_merge_keys) {
+        dist::MergeKeys keys =
+            dist::ComputeMergeKeys(*table, job.spec, run.result);
+        if (!keys.ok) {
+          frames.push_back(
+              SealFrame(FrameType::kError, 0, job.request_id,
+                        EncodeError({ErrorCode::kBadQuery, keys.error})));
+          FinishJob(job, std::move(frames));
+          continue;
+        }
+        counters_->queries_ok->Increment();
+        ResultExtras extras;
+        extras.merge_key_hi = std::move(keys.hi);
+        extras.merge_key_lo = std::move(keys.lo);
+        extras.group_sizes = std::move(keys.group_sizes);
+        extras.global_oids = std::move(keys.global_oids);
+        BuildResultFrames(job.request_id, run.result,
+                          options_.result_chunk_bytes, &frames, &extras);
+        FinishJob(job, std::move(frames));
+        continue;
+      }
       counters_->queries_ok->Increment();
       BuildResultFrames(job.request_id, run.result,
                         options_.result_chunk_bytes, &frames);

@@ -6,7 +6,7 @@
 //   offset  size  field
 //   ------  ----  ---------------------------------------------------
 //        0     4  magic        'M''C''S''1' (kMagic, little-endian)
-//        4     1  version      kProtocolVersion (currently 1)
+//        4     1  version      kProtocolVersion (currently 2)
 //        5     1  type         FrameType
 //        6     2  flags        FrameFlags (kFlagLastChunk on RESULT)
 //        8     4  payload_len  bytes following the header (<= max)
@@ -33,7 +33,22 @@ namespace mcsort {
 namespace net {
 
 constexpr uint32_t kMagic = 0x3153434Du;  // "MCS1" as a little-endian u32
-constexpr uint8_t kProtocolVersion = 1;
+// Protocol revision history:
+//   1  PR 4: HELLO/QUERY/RESULT/SCHEMA/SAVE/LOAD as originally shipped.
+//   2  distributed tier: HELLO carries a capability bitmask (and the ACK
+//      echoes the server's minimum accepted version), QUERY carries
+//      fixed_column_order / merge_fan_in / want_merge_keys, RESULT grows
+//      the merge-key / group-size / global-oid sections (ids 6-9).
+// Version 2 payloads are not a superset v1 peers can skip (QUERY decoding
+// is strict-length), so the minimum accepted version is also 2; peers
+// outside [kMinProtocolVersion, kProtocolVersion] get a typed
+// kUnsupportedVersion rejection at HELLO.
+constexpr uint8_t kProtocolVersion = 2;
+constexpr uint8_t kMinProtocolVersion = 2;
+
+// Capability bits negotiated in HELLO (a peer must tolerate unknown bits:
+// they advertise features, they never change existing encodings).
+constexpr uint32_t kCapMergeKeys = 1u << 0;  // server: RESULT sections 6-9
 constexpr size_t kHeaderSize = 24;
 // Hard protocol ceiling on one frame's payload; ServerOptions may lower it.
 constexpr size_t kMaxPayloadCap = size_t{1} << 26;  // 64 MiB

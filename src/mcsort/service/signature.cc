@@ -74,6 +74,14 @@ QuerySignature SignatureOf(const Table& table, const QuerySpec& spec,
   std::snprintf(buf, sizeof(buf), "n~%d|pp%d|rho%g", Log2Bucket(row_estimate),
                 attrs.permute_prefix, rho);
   text += buf;
+  // Distributed shards: the merge fan-in changes the rho budget (the
+  // coordinator-merge cost term inflates T(P*)), so plans found under a
+  // different fan-in must not be served from the cache. The pinned column
+  // order is already captured by pp (fixed_column_order zeroes it).
+  if (spec.merge_fan_in > 0) {
+    std::snprintf(buf, sizeof(buf), "|mf%d", spec.merge_fan_in);
+    text += buf;
+  }
   for (size_t c = 0; c < attrs.names.size(); ++c) {
     const ColumnStats& stats = table.stats(attrs.names[c]);
     std::snprintf(buf, sizeof(buf), "|%s:w%d%c~d%d", attrs.names[c].c_str(),
