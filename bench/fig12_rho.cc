@@ -52,7 +52,7 @@ int main() {
     // a deployment can check its configured rho against this figure.
     std::vector<double> rhos = {0.0001, 0.001, 0.01, 0.1, 0.0};
     std::vector<std::string> labels = {"0.01%", "0.1%", "1%", "10%", "N/S"};
-    const double env_rho = RhoFromEnv(-1.0);
+    const double env_rho = EnvDouble("MCSORT_RHO", -1.0);
     if (env_rho >= 0) {
       rhos = {env_rho};
       labels = {"env"};

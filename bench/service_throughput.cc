@@ -134,11 +134,11 @@ int main() {
   const Table table = BenchTable(n, 4242);
   const std::vector<QuerySpec> specs = WorkloadSpecs();
 
+  ServiceOptions options = ServiceOptions::FromEnv();
   std::printf("Query-service throughput: %zu rows, %zu-query mix, "
               "%d replays/session, %d pool threads, rho=%g.\n",
-              n, specs.size(), reps, threads, RhoFromEnv());
+              n, specs.size(), reps, threads, options.rho);
 
-  ServiceOptions options = ServiceOptions::FromEnv();
   options.threads = threads;
   options.params = bench::BenchParams();
   options.admission.max_inflight = std::max(2, threads);

@@ -30,6 +30,8 @@ tests=(
   net_test
   io_test
   dist_test
+  status_test
+  external_sort_test
 )
 
 run_flavor() {

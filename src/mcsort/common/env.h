@@ -31,41 +31,11 @@ inline std::string EnvStr(const char* name, const char* fallback) {
   return env != nullptr && env[0] != '\0' ? env : fallback;
 }
 
-// Network front-end knobs, shared by ServerOptions::FromEnv, the client
-// tools, and the net benches so every binary reads the same spellings:
-//   MCSORT_HOST        bind/connect address (default 127.0.0.1)
-//   MCSORT_PORT        TCP port (server: 0 = ephemeral)
-//   MCSORT_MAX_CONNS   connection cap before typed BUSY rejects
-inline std::string HostFromEnv() { return EnvStr("MCSORT_HOST", "127.0.0.1"); }
-inline uint16_t PortFromEnv(uint16_t fallback) {
-  return static_cast<uint16_t>(EnvU64("MCSORT_PORT", fallback));
-}
-
-// Cost-model calibration file: MCSORT_CALIBRATION names the measurement
-// cache read (and written, after a calibrate run) by CalibratedParams().
-// MCSORT_CALIBRATION_FILE is accepted as an alias for compatibility with
-// earlier scripts. Default stays the CWD-relative file the calibrator has
-// always used.
-inline std::string CalibrationPathFromEnv() {
-  const char* env = std::getenv("MCSORT_CALIBRATION");
-  if (env == nullptr || env[0] == '\0') {
-    env = std::getenv("MCSORT_CALIBRATION_FILE");
-  }
-  return env != nullptr && env[0] != '\0' ? env : "mcsort_calibration.txt";
-}
-
-// Snapshot catalog directory for the persistence tier (io/snapshot.h):
-// MCSORT_DATA_DIR points the server and tools at a directory of saved
-// table snapshots. Empty (the default) disables on-disk cataloging.
-inline std::string DataDirFromEnv() { return EnvStr("MCSORT_DATA_DIR", ""); }
-
-// The ROGA time threshold: MCSORT_RHO overrides `fallback` (Appendix C's
-// default 0.1%). Accepts a plain double; <= 0 disables the stopwatch
-// ("N/S"). Shared by the query-service config and bench/fig12_rho so both
-// sweep the same knob.
-inline double RhoFromEnv(double fallback = 0.001) {
-  return EnvDouble("MCSORT_RHO", fallback);
-}
+// The per-knob getters (host/port/rho/data-dir/calibration-path/...) that
+// used to live here moved into the typed process config —
+// common/options.h's ExecOptions::FromEnv() / ServerOptions::FromEnv() —
+// so the MCSORT_* spellings are parsed in exactly one place. This header
+// keeps only the raw parsing primitives.
 
 // Sort-kernel override (debugging aid, mirrors MCSORT_RHO): MCSORT_KERNELS
 // is a comma-separated allow-list over {merge, ovc, counting, radix}. It

@@ -33,6 +33,37 @@ ExecStatus ExecStatus::FromCode(ExecCode code) {
   return Ok();
 }
 
+Status ExecStatus::ToStatus() const {
+  switch (code) {
+    case ExecCode::kOk:
+      return Status::Ok();
+    case ExecCode::kCancelled:
+      return Status::Cancelled(detail);
+    case ExecCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(detail);
+    case ExecCode::kResourceExhausted:
+      return Status::ResourceExhausted(detail);
+  }
+  return Status::Internal(detail);
+}
+
+ExecStatus ExecStatus::FromStatus(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk:
+      return Ok();
+    case StatusCode::kCancelled:
+      return Cancelled();
+    case StatusCode::kDeadlineExceeded:
+      return DeadlineExceeded();
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:
+      return ResourceExhausted();
+    default:
+      return Cancelled("cancelled (non-executor status)");
+  }
+}
+
 FaultInjector FaultInjector::FromString(const char* spec) {
   if (spec == nullptr || *spec == '\0') return FaultInjector();
   const char* at = std::strchr(spec, '@');

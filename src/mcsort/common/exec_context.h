@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "mcsort/common/status.h"
+
 namespace mcsort {
 
 struct PlanHint;  // engine/query.h — opaque at this layer
@@ -68,6 +70,16 @@ struct ExecStatus {
     return {ExecCode::kResourceExhausted, detail};
   }
   static ExecStatus FromCode(ExecCode code);
+
+  // Unified-status bridge (common/status.h). Every ExecCode has an exact
+  // canonical twin, so ToStatus/FromStatus round-trip; a Status outside
+  // the executor's vocabulary lands on kResourceExhausted if it is a
+  // resource flavor and kCancelled otherwise (the executor's two unwind
+  // classes). The detail string is preserved in both directions as far as
+  // lifetimes allow (FromStatus keeps only the static code name — an
+  // ExecStatus never owns its detail).
+  Status ToStatus() const;
+  static ExecStatus FromStatus(const Status& status);
 };
 
 // Read side of a cancellation flag. Copies share the flag; a

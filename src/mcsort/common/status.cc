@@ -1,0 +1,28 @@
+#include "mcsort/common/status.h"
+
+namespace mcsort {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  if (detail.empty()) return name();
+  return std::string(name()) + ": " + detail;
+}
+
+}  // namespace mcsort

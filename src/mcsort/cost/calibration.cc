@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "mcsort/common/bits.h"
-#include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/common/logging.h"
 #include "mcsort/common/random.h"
 #include "mcsort/common/timer.h"
@@ -475,7 +475,7 @@ CostParams* calibrated_params = nullptr;
 
 const CostParams& CalibratedParams() {
   std::call_once(calibrated_params_once, [] {
-    const std::string path = CalibrationPathFromEnv();
+    const std::string path = ExecOptions::FromEnv().calibration_path;
     CostParams params = CostParams::Default();
     if (LoadParams(path.c_str(), &params)) {
       std::fprintf(stderr, "[mcsort] loaded calibration from %s\n",

@@ -207,6 +207,17 @@ CostModel::PlanEstimate CostModel::Estimate(const MassagePlan& plan,
   return estimate;
 }
 
+double CostModel::SpillCycles(uint64_t n, int num_runs, int key_bits) const {
+  if (n == 0) return 0;
+  const SpillParams& p = params_.spill;
+  // Run-file row: 128-bit composite key + 32-bit oid (run_file.h's
+  // kRunRowBytes), written once during generation and read once to merge.
+  const double bytes = static_cast<double>(n) * 20.0;
+  return p.overhead + static_cast<double>(n) * p.key_build_per_row +
+         bytes * (p.write_per_byte + p.read_per_byte) +
+         CoordinatorMergeCycles(n, num_runs < 2 ? 2 : num_runs, key_bits);
+}
+
 double CostModel::CoordinatorMergeCycles(uint64_t n, int fan_in,
                                          int key_bits) const {
   if (fan_in <= 1 || n == 0) return 0;

@@ -102,6 +102,14 @@ class CostModel {
     return EstimateCycles(plan, stats, kernels) / (params_.ghz * 1e9);
   }
 
+  // Spill-arm estimate for the executor's spill-vs-degrade router: the
+  // *extra* cost external sorting adds on top of the in-memory sort of the
+  // same rows — composite-key builds, run-file writes and reads (20 bytes
+  // per row: 128-bit key + 32-bit oid), and the `num_runs`-way OVC merge
+  // (costed like the coordinator merge it clones). The caller adds the
+  // in-memory plan estimate itself.
+  double SpillCycles(uint64_t n, int num_runs, int key_bits) const;
+
   // Calibratable coordinator-merge cost: merging `n` elements of
   // `key_bits`-bit composite keys from `fan_in` pre-sorted shard streams
   // through an OVC loser tree (ceil(log2 fan_in) levels). Returns 0 for

@@ -64,6 +64,22 @@ struct CoordMergeParams {
   double per_key_byte = 0.5;
 };
 
+// External-sort (spill) constants (sort/external/): the cost of pushing
+// rows through run files and the K-way merge, used by the executor's
+// spill-vs-degrade router. IO is costed in cycles per run-file byte so a
+// page-cache-resident spill directory and a real disk calibrate to very
+// different routing points; the merge's CPU term reuses CoordMergeParams.
+struct SpillParams {
+  // Fixed cycles per spilling sort (directory setup, file opens).
+  double overhead = 20000.0;
+  // Cycles per run-file byte on the generation (write) side.
+  double write_per_byte = 1.0;
+  // Cycles per run-file byte on the merge (read) side.
+  double read_per_byte = 1.0;
+  // Cycles per row for composite-key construction + run sinking.
+  double key_build_per_row = 12.0;
+};
+
 struct CostParams {
   // C_cache / C_mem: access latency of one item in cache vs. memory
   // (Eq. 3).
@@ -83,6 +99,7 @@ struct CostParams {
   OvcSortParams ovc64;
   CountingSortParams counting;
   CoordMergeParams coord_merge;
+  SpillParams spill;
 
   // M_LLC / M_L2 as used by the model (bytes). The LLC figure is the
   // *effective* value used in the cache-hit-ratio formula; calibration fits

@@ -115,6 +115,9 @@ struct DistResult {
   uint64_t merge_full_compares = 0;
 
   bool ok() const { return status == DistStatus::kOk; }
+  // The whole fan-out's outcome lifted to the unified taxonomy
+  // (common/status.h), detail included.
+  Status ToStatus() const { return dist::ToStatus(status, detail); }
 };
 
 class McsortCoordinator {

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "mcsort/common/status.h"
+
 namespace mcsort {
 namespace dist {
 
@@ -41,6 +43,43 @@ inline const char* DistStatusName(DistStatus status) {
     case DistStatus::kNoShards: return "no_shards";
   }
   return "unknown";
+}
+
+// Unified-status bridge (common/status.h). kShardFailed and kMergeError
+// both summarize a fan-out that may succeed on retry against healthy
+// replicas, but a merge disagreement is a peer bug, not weather — so
+// kShardFailed -> kUnavailable and kMergeError -> kInternal; kNoShards is
+// a caller setup error (kFailedPrecondition).
+inline Status ToStatus(DistStatus status, std::string detail = "") {
+  switch (status) {
+    case DistStatus::kOk: return Status::Ok();
+    case DistStatus::kShardFailed:
+      return Status::Unavailable(std::move(detail));
+    case DistStatus::kCancelled: return Status::Cancelled(std::move(detail));
+    case DistStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(detail));
+    case DistStatus::kBadQuery:
+      return Status::InvalidArgument(std::move(detail));
+    case DistStatus::kUnsupported:
+      return Status::Unimplemented(std::move(detail));
+    case DistStatus::kMergeError: return Status::Internal(std::move(detail));
+    case DistStatus::kNoShards:
+      return Status::FailedPrecondition(std::move(detail));
+  }
+  return Status::Internal(std::move(detail));
+}
+
+inline DistStatus FromStatus(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk: return DistStatus::kOk;
+    case StatusCode::kCancelled: return DistStatus::kCancelled;
+    case StatusCode::kDeadlineExceeded: return DistStatus::kDeadlineExceeded;
+    case StatusCode::kInvalidArgument: return DistStatus::kBadQuery;
+    case StatusCode::kUnimplemented: return DistStatus::kUnsupported;
+    case StatusCode::kFailedPrecondition: return DistStatus::kNoShards;
+    case StatusCode::kInternal: return DistStatus::kMergeError;
+    default: return DistStatus::kShardFailed;
+  }
 }
 
 }  // namespace dist

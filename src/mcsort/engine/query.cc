@@ -10,6 +10,7 @@
 #include "mcsort/engine/window.h"
 #include "mcsort/scan/bitvector.h"
 #include "mcsort/scan/lookup.h"
+#include "mcsort/sort/external/external_sort.h"
 #include "mcsort/storage/dictionary.h"
 
 namespace mcsort {
@@ -262,26 +263,97 @@ ExecResult QueryExecutor::ExecuteOnce(const QuerySpec& spec,
   result.column_order = order;
   if (stopped()) return out;
 
-  // Scratch admission against the context's soft budget: an over-budget
-  // plan fails here with kResourceExhausted and Execute's degradation loop
-  // re-plans under a tighter bank cap instead of sorting.
-  if (ctx.scratch_budget_bytes() > 0 &&
-      EstimatePlanScratchBytes(plan, n) > ctx.scratch_budget_bytes()) {
-    out.status =
-        ExecStatus::ResourceExhausted("plan scratch estimate over budget");
-    return out;
-  }
-
-  // ------------------------------------------------------------------
-  // 4. Multi-column sorting (the paper's highlighted phase).
-  // ------------------------------------------------------------------
   std::vector<MassageInput> inputs;
   for (int idx : order) {
     inputs.push_back({sort_column_ptrs[static_cast<size_t>(idx)],
                       attrs.orders[static_cast<size_t>(idx)]});
   }
+
+  // Scratch admission against the context's soft budget. An over-budget
+  // plan has two ways out, cost-routed here:
+  //   * degrade-by-narrowing: fail with kResourceExhausted so Execute's
+  //     loop re-plans under a halved bank cap (shrinks scratch, keeps the
+  //     sort in memory);
+  //   * spill: slice the input into budget-sized runs, sort each in
+  //     memory under the SAME plan, and merge the run files externally
+  //     (sort/external/) — bit-identical output, bounded scratch.
+  // The router compares ROGA's estimate of the best narrowed plan against
+  // the current plan plus the calibrated spill surcharge
+  // (CostModel::SpillCycles), and spills when that arm is cheaper or when
+  // no narrower plan exists.
+  size_t spill_slice_rows = 0;
+  if (ctx.scratch_budget_bytes() > 0 &&
+      EstimatePlanScratchBytes(plan, n) > ctx.scratch_budget_bytes()) {
+    const size_t per_row = EstimatePlanScratchBytes(plan, 1);
+    const size_t slice_rows =
+        per_row > 0 ? ctx.scratch_budget_bytes() / per_row : 0;
+    bool spill = options_.spill.enabled && slice_rows > 0 && slice_rows < n &&
+                 external::CanExternalSort(inputs);
+    if (spill && options_.use_massage) {
+      int widest = 0;
+      for (const Round& round : plan.rounds()) {
+        widest = std::max(widest, round.bank);
+      }
+      if (widest > 16) {
+        // Both arms are live: cost them. The spill arm's in-memory part is
+        // the current plan (each slice sorts under it); the degrade arm is
+        // the best plan under the halved cap.
+        timer.Restart();
+        SortInstanceStats stats = InstanceStats(spec, n);
+        SearchOptions search;
+        search.rho = options_.rho;
+        search.min_budget_seconds = options_.min_budget_seconds;
+        search.permute_columns = attrs.permute_prefix > 1;
+        search.permute_prefix = attrs.permute_prefix;
+        search.max_bank = std::max(16, widest / 2);
+        search.ctx = stoppable ? &ctx : nullptr;
+        const SearchResult narrow = RogaSearch(model_, stats, search);
+        const size_t num_runs = (n + slice_rows - 1) / slice_rows;
+        const double spill_cycles =
+            model_.EstimateCycles(plan, stats) +
+            model_.SpillCycles(n, static_cast<int>(num_runs), total_width);
+        result.plan_seconds += timer.Seconds();
+        if (narrow.plan.IsValid() && narrow.estimated_cycles < spill_cycles) {
+          spill = false;
+        }
+      }
+    }
+    if (!spill) {
+      out.status =
+          ExecStatus::ResourceExhausted("plan scratch estimate over budget");
+      return out;
+    }
+    spill_slice_rows = slice_rows;
+  }
+  if (stopped()) return out;
+
+  // ------------------------------------------------------------------
+  // 4. Multi-column sorting (the paper's highlighted phase) — in memory,
+  //    or through run files when the admission router chose to spill.
+  // ------------------------------------------------------------------
   timer.Restart();
-  MultiColumnSortResult sorted = sorter_.Sort(inputs, plan, ctx);
+  MultiColumnSortResult sorted;
+  if (spill_slice_rows > 0) {
+    external::ExternalSortOptions ext_options;
+    ext_options.dir = options_.spill.dir;
+    ext_options.slice_rows = spill_slice_rows;
+    ext_options.block_rows = options_.spill.block_rows;
+    ext_options.prefetch = options_.spill.prefetch;
+    ext_options.io_threads = options_.spill.io_threads;
+    external::ExternalSorter ext(&sorter_, ext_options);
+    external::ExternalSortResult spilled = ext.Sort(inputs, plan, ctx);
+    result.spilled = true;
+    result.spill_runs = spilled.num_runs;
+    result.spill_bytes = spilled.run_bytes;
+    result.spill_run_gen_seconds = spilled.run_gen_seconds;
+    result.spill_merge_seconds = spilled.merge_seconds;
+    sorted.status = ExecStatus::FromStatus(spilled.status);
+    if (!spilled.status.ok()) out.detail = spilled.status;
+    sorted.oids = std::move(spilled.oids);
+    sorted.groups = std::move(spilled.groups);
+  } else {
+    sorted = sorter_.Sort(inputs, plan, ctx);
+  }
   // The paper's accounting: only sorts over MULTIPLE attributes count as
   // multi-column sorting; a single-attribute sort (e.g. Q13's GROUP BY on
   // one column) is "single-column sorting" and belongs to the rest bucket.

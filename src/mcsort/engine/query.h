@@ -188,6 +188,19 @@ struct QueryResult {
   bool degraded = false;
   int bank_cap = 0;
 
+  // External-sort (spill) execution: set when the over-budget router chose
+  // spilling run files over degrade-by-narrowing (cost-compared via
+  // CostModel::SpillCycles). Spilled results are value-identical to the
+  // in-memory path (same group bounds and attribute sequences; oids may
+  // permute within full-key ties only — the Lemma-1 guarantee).
+  // `spill_bytes` is the total run-file footprint written; all run files
+  // are already unlinked by the time Execute returns.
+  bool spilled = false;
+  size_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
+  double spill_run_gen_seconds = 0;
+  double spill_merge_seconds = 0;
+
   // Result payloads (for verification and examples).
   std::vector<std::vector<int64_t>> aggregate_values;  // per aggregate spec
   std::vector<double> aggregate_avg;                   // for kAvg specs
@@ -204,6 +217,17 @@ struct QueryResult {
   }
 };
 
+// Spill (external sort) configuration of one executor — the engine-level
+// mirror of ExecOptions' MCSORT_SPILL_* knobs (common/options.h).
+struct SpillConfig {
+  bool enabled = true;
+  std::string dir = "/tmp/mcsort-spill";
+  // Double-buffered async block prefetch during the merge phase.
+  bool prefetch = true;
+  int io_threads = 2;
+  size_t block_rows = size_t{1} << 16;
+};
+
 struct ExecutorOptions {
   // Enable code massaging: plan via ROGA. Disabled = the state-of-the-art
   // column-at-a-time baseline.
@@ -217,6 +241,9 @@ struct ExecutorOptions {
   ThreadPool* pool = nullptr;
   // Cost-model parameters; pass calibrated values for best plans.
   CostParams params = CostParams::Default();
+  // External-sort fallback for plans whose scratch estimate exceeds the
+  // ExecContext budget (the alternative to degrade-by-narrowing).
+  SpillConfig spill;
 };
 
 // Externally supplied planning context for one execution (the service
@@ -241,8 +268,16 @@ struct PlanHint {
 // are partial and must be discarded).
 struct ExecResult {
   ExecStatus status;
+  // Richer unified outcome, set when the failure originated outside the
+  // executor's own four-code vocabulary (e.g. spill-file IO: kUnavailable,
+  // corrupt run: kDataLoss). Empty/ok on the straight path and on plain
+  // executor unwinds; always consult ToStatus() rather than this directly.
+  Status detail;
   QueryResult result;
   bool ok() const { return status.ok(); }
+  // The execution outcome lifted to the unified taxonomy (common/status.h):
+  // the preserved rich status when one exists, else the ExecStatus image.
+  Status ToStatus() const { return detail.ok() ? status.ToStatus() : detail; }
 };
 
 class QueryExecutor {

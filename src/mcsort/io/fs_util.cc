@@ -1,7 +1,9 @@
 #include "mcsort/io/fs_util.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
@@ -68,6 +70,30 @@ IoStatus WriteFileAtomic(const std::string& path, const std::string& bytes) {
     return ErrnoStatus("rename", tmp);
   }
   return IoStatus::Ok();
+}
+
+bool RemoveFile(const std::string& path) {
+  return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+size_t CleanupTempFiles(const std::string& dir, const std::string& suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  size_t removed = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace mcsort

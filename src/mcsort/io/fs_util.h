@@ -19,6 +19,19 @@ IoStatus ReadFileToString(const std::string& path, std::string* out);
 // observe a half-written file.
 IoStatus WriteFileAtomic(const std::string& path, const std::string& bytes);
 
+// Deletes one file. True when the file was removed or was already absent.
+bool RemoveFile(const std::string& path);
+
+// Deletes every regular file directly under `dir` whose name ends with
+// `suffix` — the crash-leftover sweep for the temp-file discipline shared
+// by the snapshot codec, WriteFileAtomic, and the spill run writer: a
+// finished artifact is never named `*.tmp`, so any such file is an orphan
+// from an interrupted writer. Returns the number of files removed
+// (missing/unreadable `dir` counts as 0). Only safe when no writer is
+// concurrently using `dir` (call at startup/attach time).
+size_t CleanupTempFiles(const std::string& dir,
+                        const std::string& suffix = ".tmp");
+
 }  // namespace mcsort
 
 #endif  // MCSORT_IO_FS_UTIL_H_

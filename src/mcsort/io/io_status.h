@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "mcsort/common/status.h"
+
 namespace mcsort {
 
 enum class IoCode {
@@ -36,6 +38,14 @@ struct IoStatus {
 
   // Human-readable "kind: message" line for logs and wire error details.
   std::string ToString() const;
+
+  // Unified-status bridge (common/status.h): kIoError -> kUnavailable
+  // (the medium may recover), kCorrupt -> kDataLoss (it will not),
+  // kBadMagic/kBadFormat -> kInvalidArgument, kBadVersion ->
+  // kFailedPrecondition. FromStatus inverts onto the canonical member of
+  // each class (kInvalidArgument -> kBadFormat), preserving the detail.
+  Status ToStatus() const;
+  static IoStatus FromStatus(const Status& status);
 };
 
 // How LoadSnapshot materializes column codes.

@@ -46,6 +46,34 @@ std::string IoStatus::ToString() const {
   return std::string(IoCodeName(code)) + ": " + message;
 }
 
+Status IoStatus::ToStatus() const {
+  switch (code) {
+    case IoCode::kOk: return Status::Ok();
+    case IoCode::kIoError: return Status::Unavailable(message);
+    case IoCode::kBadMagic: return Status::InvalidArgument(message);
+    case IoCode::kBadVersion: return Status::FailedPrecondition(message);
+    case IoCode::kCorrupt: return Status::DataLoss(message);
+    case IoCode::kBadFormat: return Status::InvalidArgument(message);
+  }
+  return Status::Internal(message);
+}
+
+IoStatus IoStatus::FromStatus(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk: return Ok();
+    case StatusCode::kUnavailable:
+    case StatusCode::kNotFound:
+      return Error(IoCode::kIoError, status.detail);
+    case StatusCode::kDataLoss: return Error(IoCode::kCorrupt, status.detail);
+    case StatusCode::kFailedPrecondition:
+      return Error(IoCode::kBadVersion, status.detail);
+    case StatusCode::kInvalidArgument:
+      return Error(IoCode::kBadFormat, status.detail);
+    default:
+      return Error(IoCode::kIoError, status.detail);
+  }
+}
+
 namespace {
 
 constexpr size_t kSegmentHeaderBytes = 16;

@@ -106,6 +106,31 @@ const char* ClientStatusName(ClientStatus status) {
   return "unknown";
 }
 
+Status ToStatus(ClientStatus status, std::string detail) {
+  switch (status) {
+    case ClientStatus::kOk: return Status::Ok();
+    case ClientStatus::kNotConnected:
+      return Status::FailedPrecondition(std::move(detail));
+    case ClientStatus::kTransportError:
+      return Status::Unavailable(std::move(detail));
+    case ClientStatus::kCallTimeout:
+      return Status::DeadlineExceeded(std::move(detail));
+    case ClientStatus::kServerError:
+      return Status::Internal(std::move(detail));
+  }
+  return Status::Internal(std::move(detail));
+}
+
+ClientStatus ClientStatusFromStatus(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk: return ClientStatus::kOk;
+    case StatusCode::kFailedPrecondition: return ClientStatus::kNotConnected;
+    case StatusCode::kDeadlineExceeded: return ClientStatus::kCallTimeout;
+    case StatusCode::kInternal: return ClientStatus::kServerError;
+    default: return ClientStatus::kTransportError;
+  }
+}
+
 McsortClient::McsortClient(const ClientOptions& options) : options_(options) {}
 
 McsortClient::~McsortClient() { Close(); }

@@ -67,6 +67,14 @@ enum class ClientStatus : uint8_t {
 // Stable lowercase name ("ok", "transport_error", ...) for logs/metrics.
 const char* ClientStatusName(ClientStatus status);
 
+// Unified-status bridge (common/status.h): kNotConnected ->
+// kFailedPrecondition (call Connect first), kTransportError ->
+// kUnavailable (retry/fail over), kCallTimeout -> kDeadlineExceeded,
+// kServerError -> kInternal (the server's own verdict travels separately
+// in RemoteResult). FromStatus inverts onto the canonical member.
+Status ToStatus(ClientStatus status, std::string detail = "");
+ClientStatus ClientStatusFromStatus(const Status& status);
+
 // Outcome of one remote query. `transport_ok` distinguishes "the wire
 // failed" (connection lost, garbled reply) from "the server answered" —
 // when it is true, `error`/`status` carry the server's typed verdict.
@@ -88,6 +96,15 @@ struct RemoteResult {
 
   bool ok() const {
     return transport_ok && error == ErrorCode::kNone && status.ok();
+  }
+
+  // The whole call collapsed to one unified status: the transport's
+  // verdict when the wire failed, else the server's typed error, else the
+  // execution outcome. ok() == ToStatus().ok().
+  Status ToStatus() const {
+    if (!transport_ok) return Status::Unavailable(error_detail);
+    if (error != ErrorCode::kNone) return net::ToStatus(error, error_detail);
+    return status.ToStatus();
   }
 };
 

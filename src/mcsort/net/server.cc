@@ -16,7 +16,7 @@
 #include <cstring>
 #include <utility>
 
-#include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/common/timer.h"
 #include "mcsort/dist/merge_keys.h"
 
@@ -26,11 +26,14 @@ namespace net {
 using Clock = std::chrono::steady_clock;
 
 ServerOptions ServerOptions::FromEnv() {
+  // Delegate to the typed process config (common/options.h) — one parser
+  // for the MCSORT_HOST / MCSORT_PORT / MCSORT_MAX_CONNS spellings.
+  const mcsort::ServerOptions env = mcsort::ServerOptions::FromEnv();
   ServerOptions options;
-  options.host = HostFromEnv();
-  options.port = PortFromEnv(options.port);
-  options.max_connections = static_cast<int>(
-      EnvU64("MCSORT_MAX_CONNS", static_cast<uint64_t>(options.max_connections)));
+  options.host = env.host;
+  options.port = env.port;
+  options.max_connections = env.max_connections;
+  options.scratch_budget_bytes = ExecOptions::FromEnv().scratch_budget_bytes;
   return options;
 }
 
@@ -112,14 +115,12 @@ struct McsortServer::NetCounters {
 
 namespace {
 
-ErrorCode ErrorCodeOf(ExecCode code) {
-  switch (code) {
-    case ExecCode::kCancelled: return ErrorCode::kCancelled;
-    case ExecCode::kDeadlineExceeded: return ErrorCode::kDeadlineExceeded;
-    case ExecCode::kResourceExhausted: return ErrorCode::kResourceExhausted;
-    case ExecCode::kOk: break;
-  }
-  return ErrorCode::kInternal;
+// Executor outcomes reach the wire through the unified status hub: the
+// ExecStatus is lifted to mcsort::Status and serialized with the one wire
+// mapping, so a remote peer sees exactly what a local caller would.
+ErrorCode ErrorCodeOf(const ExecStatus& status) {
+  if (status.ok()) return ErrorCode::kInternal;  // "error" path only
+  return ToErrorCode(status.ToStatus());
 }
 
 bool ColumnsExist(const Table& table, const std::vector<std::string>& names,
@@ -885,12 +886,15 @@ void McsortServer::WorkerThread() {
     if (job.kind != Job::Kind::kQuery) {
       Timer timer;
       const bool is_save = job.kind == Job::Kind::kSaveTable;
-      const IoStatus status = is_save ? service_->SaveTable(job.table_name)
-                                      : service_->LoadTable(job.table_name);
+      const Status status = is_save ? service_->SaveTable(job.table_name)
+                                    : service_->LoadTable(job.table_name);
       TableOpReply reply;
       reply.ok = status.ok();
-      reply.io_code = static_cast<uint8_t>(status.code);
-      reply.detail = status.message;
+      // The wire reply still speaks the snapshot codec's IoCode; recover it
+      // from the unified status (kOk has no IoCode — leave the zero value).
+      reply.io_code =
+          static_cast<uint8_t>(IoStatus::FromStatus(status).code);
+      reply.detail = status.detail;
       reply.seconds = timer.Seconds();
       if (status.ok()) {
         if (const Table* table = service_->FindTable(job.table_name)) {
@@ -934,6 +938,9 @@ void McsortServer::WorkerThread() {
     ExecContext ctx;
     ctx.WithToken(job.cancel.token());
     if (job.has_deadline) ctx.WithDeadline(job.deadline);
+    if (options_.scratch_budget_bytes > 0) {
+      ctx.WithScratchBudget(options_.scratch_budget_bytes);
+    }
     const ExecResult run = cached.session->Execute(job.spec, ctx);
     counters_->query_seconds->Record(timer.Seconds());
 
@@ -963,7 +970,7 @@ void McsortServer::WorkerThread() {
       BuildResultFrames(job.request_id, run.result,
                         options_.result_chunk_bytes, &frames);
     } else {
-      const ErrorCode code = ErrorCodeOf(run.status.code);
+      const ErrorCode code = ErrorCodeOf(run.status);
       service_->metrics()
           .counter(std::string("net.query_error.") + ErrorCodeName(code))
           ->Increment();

@@ -79,8 +79,12 @@ struct ServerOptions {
   // Grace period RequestDrain allows in-flight queries before cancelling.
   double drain_timeout_seconds = 10;
   std::string server_name = "mcsort";
+  // Per-query scratch budget (bytes) threaded into every ExecContext;
+  // over-budget plans degrade or spill (engine/query.h). 0 = unlimited.
+  uint64_t scratch_budget_bytes = 0;
 
-  // Defaults with MCSORT_HOST / MCSORT_PORT / MCSORT_MAX_CONNS applied.
+  // Defaults with MCSORT_HOST / MCSORT_PORT / MCSORT_MAX_CONNS /
+  // MCSORT_SCRATCH_BUDGET applied.
   static ServerOptions FromEnv();
 };
 

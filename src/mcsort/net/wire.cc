@@ -71,6 +71,52 @@ const char* ErrorCodeName(ErrorCode code) {
   return "unknown";
 }
 
+Status ToStatus(ErrorCode code, std::string detail) {
+  switch (code) {
+    case ErrorCode::kNone: return Status::Ok();
+    case ErrorCode::kMalformedFrame:
+    case ErrorCode::kMalformedQuery:
+    case ErrorCode::kBadQuery:
+    case ErrorCode::kOversizedFrame:
+    case ErrorCode::kUnknownType:
+      return Status::InvalidArgument(std::move(detail));
+    case ErrorCode::kCrcMismatch: return Status::DataLoss(std::move(detail));
+    case ErrorCode::kUnsupportedVersion:
+    case ErrorCode::kProtocolViolation:
+      return Status::FailedPrecondition(std::move(detail));
+    case ErrorCode::kBusy:
+    case ErrorCode::kShuttingDown:
+    case ErrorCode::kIoError:
+      return Status::Unavailable(std::move(detail));
+    case ErrorCode::kCancelled: return Status::Cancelled(std::move(detail));
+    case ErrorCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(detail));
+    case ErrorCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(detail));
+    case ErrorCode::kUnknownTable:
+      return Status::NotFound(std::move(detail));
+    case ErrorCode::kInternal: return Status::Internal(std::move(detail));
+  }
+  return Status::Internal(std::move(detail));
+}
+
+ErrorCode ToErrorCode(const Status& status) {
+  switch (status.code) {
+    case StatusCode::kOk: return ErrorCode::kNone;
+    case StatusCode::kCancelled: return ErrorCode::kCancelled;
+    case StatusCode::kDeadlineExceeded: return ErrorCode::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted: return ErrorCode::kResourceExhausted;
+    case StatusCode::kInvalidArgument: return ErrorCode::kBadQuery;
+    case StatusCode::kNotFound: return ErrorCode::kUnknownTable;
+    case StatusCode::kUnavailable: return ErrorCode::kIoError;
+    case StatusCode::kDataLoss: return ErrorCode::kCrcMismatch;
+    case StatusCode::kFailedPrecondition: return ErrorCode::kProtocolViolation;
+    case StatusCode::kUnimplemented: return ErrorCode::kBadQuery;
+    case StatusCode::kInternal: return ErrorCode::kInternal;
+  }
+  return ErrorCode::kInternal;
+}
+
 void EncodeHeader(const FrameHeader& header, uint8_t out[kHeaderSize]) {
   std::string buf;
   buf.reserve(kHeaderSize);

@@ -29,6 +29,8 @@
 #include <cstring>
 #include <string>
 
+#include "mcsort/common/status.h"
+
 namespace mcsort {
 namespace net {
 
@@ -105,6 +107,17 @@ enum class ErrorCode : uint16_t {
 // Stable lowercase name ("crc_mismatch", "busy", ...) for metrics keys and
 // the bench's error taxonomy; "unknown" for out-of-range values.
 const char* ErrorCodeName(ErrorCode code);
+
+// Unified-status bridge (common/status.h) — THE wire error mapping. Every
+// server-side status (executor outcome, catalog IoStatus, validation
+// verdict) is converted to mcsort::Status first and serialized with
+// ToErrorCode; the client inverts with ToStatus. Frame-shell codes
+// (malformed/crc/oversized/...) have no Status twin of their own — they
+// collapse onto kInvalidArgument/kDataLoss/kFailedPrecondition — so
+// ToErrorCode(ToStatus(e)) lands on each class's canonical member, which
+// is what the round-trip test pins down.
+Status ToStatus(ErrorCode code, std::string detail = "");
+ErrorCode ToErrorCode(const Status& status);
 
 struct FrameHeader {
   uint32_t magic = kMagic;

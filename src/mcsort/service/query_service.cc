@@ -6,20 +6,25 @@
 #include <vector>
 
 #include "mcsort/common/bits.h"
-#include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/common/timer.h"
 #include "mcsort/cost/calibration.h"
+#include "mcsort/io/fs_util.h"
 #include "mcsort/io/snapshot.h"
 #include "mcsort/service/signature.h"
 
 namespace mcsort {
 
 ServiceOptions ServiceOptions::FromEnv() {
+  // Delegate to the typed process config (common/options.h) — one parser
+  // for the MCSORT_RHO / MCSORT_THREADS spellings.
+  const ExecOptions env = ExecOptions::FromEnv();
   ServiceOptions options;
-  options.rho = RhoFromEnv(options.rho);
-  options.threads =
-      static_cast<int>(EnvU64("MCSORT_THREADS",
-                              static_cast<uint64_t>(options.threads)));
+  options.rho = env.rho;
+  options.threads = env.threads;
+  options.spill.enabled = env.spill_enabled;
+  options.spill.dir = env.spill_dir;
+  options.spill.prefetch = env.spill_prefetch;
   return options;
 }
 
@@ -52,7 +57,15 @@ QueryService::QueryService(const ServiceOptions& options)
                                       : options.params),
       pool_(std::make_unique<ThreadPool>(std::max(1, options.threads))),
       plan_cache_(options.plan_cache),
-      admission_(options.admission) {}
+      admission_(options.admission) {
+  // Spill-dir hygiene: crash leftovers from interrupted run writers are
+  // `*.tmp` files (finished runs are `*.mcr`). Construction precedes any
+  // query of ours; concurrent *other* processes are protected only by the
+  // pid-qualified run names, so the sweep targets `.tmp` files only.
+  if (options_.spill.enabled && !options_.spill.dir.empty()) {
+    CleanupTempFiles(options_.spill.dir);
+  }
+}
 
 std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
   ExecutorOptions exec;
@@ -61,6 +74,7 @@ std::unique_ptr<QuerySession> QueryService::OpenSession(const Table& table) {
   exec.min_budget_seconds = options_.min_budget_seconds;
   exec.pool = pool_.get();
   exec.params = params_;
+  exec.spill = options_.spill;
   const uint64_t id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed);
   metrics_.counter("service.sessions_opened")->Increment();
@@ -108,6 +122,14 @@ void QueryService::AdoptTable(const std::string& name, Table table) {
 
 void QueryService::SetCatalog(const CatalogOptions& options) {
   const std::vector<std::string> on_disk = ListSnapshotTables(options.dir);
+  // Orphan hygiene: an interrupted snapshot writer leaves `*.tmp` files
+  // behind (the atomic-rename discipline guarantees finished artifacts are
+  // never named that). Attach time is the one moment no writer can be
+  // concurrent with us, so sweep the root and every snapshot directory.
+  size_t orphans = CleanupTempFiles(options.dir);
+  for (const std::string& name : on_disk) {
+    orphans += CleanupTempFiles(options.dir + "/" + name);
+  }
   std::lock_guard<std::mutex> lock(tables_mu_);
   catalog_ = options;
   has_catalog_ = !options.dir.empty();
@@ -115,6 +137,7 @@ void QueryService::SetCatalog(const CatalogOptions& options) {
     UpsertBindingLocked(name).on_disk = true;
   }
   metrics_.counter("catalog.tables_on_disk")->Add(on_disk.size());
+  metrics_.counter("catalog.tmp_orphans_removed")->Add(orphans);
 }
 
 std::shared_ptr<const Table> QueryService::FindTableShared(
@@ -173,21 +196,20 @@ std::string QueryService::DefaultTableName() const {
   return tables_.empty() ? std::string() : tables_.front().name;
 }
 
-IoStatus QueryService::SaveTable(const std::string& name) {
+Status QueryService::SaveTable(const std::string& name) {
   std::string dir;
   std::shared_ptr<const Table> table;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
     if (!has_catalog_) {
-      return IoStatus::Error(IoCode::kIoError, "no catalog directory");
+      return Status::FailedPrecondition("no catalog directory");
     }
     Binding* binding = FindBindingLocked(name);
     if (binding == nullptr || binding->resident() == nullptr) {
-      return IoStatus::Error(IoCode::kBadFormat,
-                             "unknown or unloaded table '" + name + "'");
+      return Status::NotFound("unknown or unloaded table '" + name + "'");
     }
     if (binding->name.find('/') != std::string::npos) {
-      return IoStatus::Error(IoCode::kBadFormat, "bad table name");
+      return Status::InvalidArgument("bad table name");
     }
     dir = catalog_.dir + "/" + binding->name;
     table = binding->owned != nullptr
@@ -196,35 +218,35 @@ IoStatus QueryService::SaveTable(const std::string& name) {
                                                [](const Table*) {});
   }
   // Snapshot outside the lock: saves are long and tables are immutable.
-  IoStatus st = SaveTableSnapshot(*table, dir);
+  const IoStatus st = SaveTableSnapshot(*table, dir);
   if (st.ok()) {
     std::lock_guard<std::mutex> lock(tables_mu_);
     Binding* binding = FindBindingLocked(name);
     if (binding != nullptr) binding->on_disk = true;
     metrics_.counter("catalog.saves")->Increment();
   }
-  return st;
+  return st.ToStatus();
 }
 
-IoStatus QueryService::LoadTable(const std::string& name) {
+Status QueryService::LoadTable(const std::string& name) {
   std::string dir;
   SnapshotLoadOptions load;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
     if (!has_catalog_) {
-      return IoStatus::Error(IoCode::kIoError, "no catalog directory");
+      return Status::FailedPrecondition("no catalog directory");
     }
     if (name.empty() || name.find('/') != std::string::npos) {
-      return IoStatus::Error(IoCode::kBadFormat, "bad table name");
+      return Status::InvalidArgument("bad table name");
     }
     dir = catalog_.dir + "/" + name;
     load = catalog_.load;
   }
   auto loaded = std::make_shared<Table>();
-  IoStatus st = LoadTableSnapshot(dir, load, loaded.get());
+  const IoStatus st = LoadTableSnapshot(dir, load, loaded.get());
   if (!st.ok()) {
     metrics_.counter("catalog.load_failures")->Increment();
-    return st;
+    return st.ToStatus();
   }
   std::lock_guard<std::mutex> lock(tables_mu_);
   Binding& binding = UpsertBindingLocked(name);
@@ -234,7 +256,7 @@ IoStatus QueryService::LoadTable(const std::string& name) {
   binding.last_use = ++use_clock_;
   metrics_.counter("catalog.loads")->Increment();
   EvictOverBudgetLocked();
-  return IoStatus::Ok();
+  return Status::Ok();
 }
 
 uint64_t QueryService::ResidentOwnedBytesLocked() const {
@@ -333,6 +355,15 @@ ExecResult QueryService::ExecuteOn(QuerySession* session,
   // / exec.resource_exhausted, plus degradations absorbed along the way.
   metrics_.counter(std::string("exec.") + out.status.name())->Increment();
   if (result.degraded) metrics_.counter("exec.degraded")->Increment();
+  if (result.spilled) {
+    metrics_.counter("exec.spill.queries")->Increment();
+    metrics_.counter("exec.spill.runs")->Add(result.spill_runs);
+    metrics_.counter("exec.spill.bytes")->Add(result.spill_bytes);
+    metrics_.histogram("exec.spill.run_gen_seconds")
+        ->Record(result.spill_run_gen_seconds);
+    metrics_.histogram("exec.spill.merge_seconds")
+        ->Record(result.spill_merge_seconds);
+  }
   if (!out.ok()) {
     metrics_.histogram("exec.failed_seconds")->Record(timer.Seconds());
     return out;

@@ -67,9 +67,12 @@ struct ServiceOptions {
   // given (tests and cold starts).
   bool use_calibration = false;
   CostParams params = CostParams::Default();
+  // External-sort fallback shared by every session (engine/query.h).
+  SpillConfig spill;
 
   // Defaults with environment overrides applied: MCSORT_RHO (the same
-  // knob bench/fig12_rho sweeps) and MCSORT_THREADS.
+  // knob bench/fig12_rho sweeps), MCSORT_THREADS, and the MCSORT_SPILL_*
+  // family.
   static ServiceOptions FromEnv();
 };
 
@@ -153,8 +156,14 @@ class QueryService {
   // SAVE_TABLE / LOAD_TABLE opcodes land here). SaveTable snapshots a
   // registered table to <dir>/<name>; LoadTable (re)loads <dir>/<name>
   // into memory and binds it, making it immediately queryable.
-  IoStatus SaveTable(const std::string& name);
-  IoStatus LoadTable(const std::string& name);
+  //
+  // Unified-status entry points: the codec's IoStatus is lifted via
+  // IoStatus::ToStatus() (kNotFound for an unknown/unloaded table,
+  // kFailedPrecondition when no catalog is attached, kInvalidArgument for
+  // bad names). Wire front-ends recover the legacy TableOpReply io_code
+  // with IoStatus::FromStatus.
+  Status SaveTable(const std::string& name);
+  Status LoadTable(const std::string& name);
 
   MetricsRegistry& metrics() { return metrics_; }
   PlanCache& plan_cache() { return plan_cache_; }

@@ -1,0 +1,55 @@
+#include "mcsort/sort/external/block_loader.h"
+
+#include <utility>
+
+namespace mcsort {
+namespace external {
+
+BlockLoader::BlockLoader(int threads) {
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BlockLoader::~BlockLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain the queue before exiting, so every submitted job runs
+  // and every waiting cursor is signalled.
+  for (std::thread& w : workers_) w.join();
+}
+
+void BlockLoader::Submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void BlockLoader::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace external
+}  // namespace mcsort

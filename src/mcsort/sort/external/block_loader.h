@@ -1,0 +1,55 @@
+// Asynchronous block loader for the external merge: a small dedicated
+// worker pool that runs run-file block reads off the merge thread, so each
+// run cursor can double-buffer (consume block i while block i+1 loads).
+//
+// Deliberately NOT the service's morsel ThreadPool: block loads are
+// blocking IO, and parking compute workers on pread would starve the
+// in-memory sort running concurrently in other sessions. IO wants its own
+// (tiny) pool.
+//
+// With zero threads the loader is synchronous: Submit runs the job inline.
+// That is the MCSORT_SPILL_PREFETCH=0 mode the spill bench compares
+// against.
+#ifndef MCSORT_SORT_EXTERNAL_BLOCK_LOADER_H_
+#define MCSORT_SORT_EXTERNAL_BLOCK_LOADER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsort {
+namespace external {
+
+class BlockLoader {
+ public:
+  // `threads` <= 0 makes every Submit synchronous.
+  explicit BlockLoader(int threads);
+  ~BlockLoader();
+
+  BlockLoader(const BlockLoader&) = delete;
+  BlockLoader& operator=(const BlockLoader&) = delete;
+
+  bool async() const { return !workers_.empty(); }
+
+  // Enqueues `job` for a worker (or runs it inline in synchronous mode).
+  // Jobs must not throw; completion signalling is the job's own business
+  // (the run cursor uses a mutex + condvar per pending block).
+  void Submit(std::function<void()> job);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace external
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_EXTERNAL_BLOCK_LOADER_H_

@@ -1,0 +1,465 @@
+#include "mcsort/sort/external/external_sort.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/dist/merge.h"
+#include "mcsort/io/fs_util.h"
+#include "mcsort/sort/external/block_loader.h"
+#include "mcsort/sort/external/run_file.h"
+#include "mcsort/storage/column.h"
+
+namespace mcsort {
+namespace external {
+namespace {
+
+using dist::Key128;
+using dist::MergeCode;
+using dist::MergeCodeFirst;
+using dist::MergeCodeRelative;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Process-wide run-file sequence so concurrent spilling queries in one
+// server never collide on names.
+std::atomic<uint64_t> g_run_seq{0};
+
+struct KeyAttr {
+  const EncodedColumn* column;
+  int width;
+  bool descending;
+};
+
+// The 128-bit composite of one row — the dist/merge_keys.h layout: codes
+// concatenated MSB-first, DESC complemented, left-aligned so unsigned
+// (hi, lo) comparison is the multi-column comparison. Injective over the
+// attribute tuple, which is what makes merge-code 0 a reliable group seam.
+inline unsigned __int128 KeyOf(const std::vector<KeyAttr>& attrs,
+                               int total_width, Oid oid) {
+  unsigned __int128 key = 0;
+  for (const KeyAttr& a : attrs) {
+    Code code = a.column->Get(oid);
+    if (a.descending) code = ComplementCode(code, a.width);
+    key = (key << a.width) | code;
+  }
+  return key << (128 - total_width);
+}
+
+// Unlinks every registered run file on scope exit — the "zero residue on
+// any unwind" guarantee. Finished runs register here; an in-flight
+// RunWriter's temp file is covered by its own destructor.
+struct RunCleanup {
+  std::vector<std::string> paths;
+  ~RunCleanup() {
+    for (const std::string& p : paths) ::unlink(p.c_str());
+  }
+};
+
+// Streaming read cursor over one run: exposes the current (key, oid) and
+// advances row by row, crossing block boundaries. In async mode the next
+// block is always in flight on the BlockLoader while the current one is
+// consumed (double buffering); in sync mode block reads happen inline on
+// the merge thread.
+class RunCursor {
+ public:
+  RunCursor(const RunReader* reader, BlockLoader* loader)
+      : reader_(reader), loader_(loader) {}
+
+  IoStatus Start() {
+    if (reader_->num_blocks() == 0) return IoStatus::Ok();
+    const IoStatus st = reader_->ReadBlock(0, &cur_);
+    if (!st.ok()) return st;
+    next_block_ = 1;
+    if (loader_->async()) Schedule();
+    return IoStatus::Ok();
+  }
+
+  bool has() const { return pos_ < cur_.rows(); }
+  Key128 key() const { return {cur_.hi[pos_], cur_.lo[pos_]}; }
+  Oid oid() const { return cur_.oid[pos_]; }
+
+  // Advances one row; false when the run is exhausted or a block read
+  // failed (distinguish via error()). May wait for an in-flight load.
+  bool Advance() {
+    if (++pos_ < cur_.rows()) return true;
+    return LoadNext();
+  }
+
+  const IoStatus& error() const { return error_; }
+
+ private:
+  void Schedule() {
+    if (next_block_ >= reader_->num_blocks()) return;
+    const size_t idx = next_block_++;
+    pending_valid_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ready_ = false;
+    }
+    reader_->WillNeed(idx);
+    loader_->Submit([this, idx] {
+      RunBlock block;
+      const IoStatus st = reader_->ReadBlock(idx, &block);
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ = std::move(block);
+      pending_status_ = st;
+      pending_ready_ = true;
+      cv_.notify_all();
+    });
+  }
+
+  bool LoadNext() {
+    cur_.Clear();
+    pos_ = 0;
+    if (loader_->async()) {
+      if (!pending_valid_) return false;  // no block in flight: exhausted
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return pending_ready_; });
+        if (!pending_status_.ok()) {
+          error_ = pending_status_;
+          pending_valid_ = false;
+          return false;
+        }
+        cur_ = std::move(pending_);
+      }
+      pending_valid_ = false;
+      Schedule();
+      return cur_.rows() > 0;
+    }
+    if (next_block_ >= reader_->num_blocks()) return false;
+    const IoStatus st = reader_->ReadBlock(next_block_++, &cur_);
+    if (!st.ok()) {
+      error_ = st;
+      cur_.Clear();
+      return false;
+    }
+    return cur_.rows() > 0;
+  }
+
+  const RunReader* reader_;
+  BlockLoader* loader_;
+  RunBlock cur_;
+  size_t pos_ = 0;
+  size_t next_block_ = 0;     // next block index to fetch (merge thread)
+  bool pending_valid_ = false;  // a load is in flight (merge thread only)
+  IoStatus error_;
+
+  // Double-buffer slot, handed between the merge thread and one loader job.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool pending_ready_ = false;
+  RunBlock pending_;
+  IoStatus pending_status_;
+};
+
+// Tree of losers over run cursors, driven by offset-value codes — the
+// streaming twin of dist::OvcLoserTree (same invariants, same tie-break by
+// run index; see dist/merge.h for the correctness argument). Heads live in
+// the cursors; only the per-run code is stored here.
+class CursorLoserTree {
+ public:
+  struct Elem {
+    Oid oid = 0;
+    // Offset-value code relative to the previously emitted element;
+    // code == 0 <=> same composite key <=> same group.
+    MergeCode code = 0;
+  };
+
+  explicit CursorLoserTree(std::vector<RunCursor*> runs)
+      : runs_(std::move(runs)) {
+    const size_t k = runs_.size() > 0 ? runs_.size() : 1;
+    cap_ = std::bit_ceil(k);
+    tree_.assign(cap_, kNoRun);
+    codes_.assign(runs_.size(), 0);
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      if (runs_[r]->has()) codes_[r] = MergeCodeFirst(runs_[r]->key());
+    }
+    winner_ = InitNode(1);
+  }
+
+  // Emits the next element in global key order; false when all runs are
+  // exhausted or a cursor hit an IO error (check io_error()).
+  bool Next(Elem* out) {
+    if (winner_ == kNoRun) return false;
+    const int r = winner_;
+    out->oid = runs_[r]->oid();
+    out->code = codes_[r];
+    ++counters_.emitted;
+
+    const Key128 prev = runs_[r]->key();
+    int cur = kNoRun;
+    if (runs_[r]->Advance()) {
+      // The new head's in-run code relative to its predecessor IS its code
+      // relative to the just-emitted element.
+      codes_[r] = MergeCodeRelative(runs_[r]->key(), prev);
+      cur = r;
+    } else if (!runs_[r]->error().ok()) {
+      io_error_ = runs_[r]->error();
+      winner_ = kNoRun;  // abort the merge; the emitted element is valid
+      return true;
+    }
+    for (size_t node = (cap_ + static_cast<size_t>(r)) >> 1; node >= 1;
+         node >>= 1) {
+      const int challenger = tree_[node];
+      const int w = Challenge(cur, challenger);
+      tree_[node] = (w == cur) ? challenger : cur;
+      cur = w;
+    }
+    winner_ = cur;
+    return true;
+  }
+
+  const IoStatus& io_error() const { return io_error_; }
+  const sort_internal::OvcCounters& counters() const { return counters_; }
+
+ private:
+  static constexpr int kNoRun = -1;
+
+  int Challenge(int a, int b) {
+    if (a == kNoRun) return b;
+    if (b == kNoRun) return a;
+    if (codes_[a] != codes_[b]) return codes_[a] < codes_[b] ? a : b;
+    ++counters_.full_compares;
+    const Key128 xa = runs_[a]->key();
+    const Key128 xb = runs_[b]->key();
+    int winner, loser;
+    if (xa < xb || (xa == xb && a < b)) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+    codes_[loser] =
+        MergeCodeRelative(loser == a ? xa : xb, winner == a ? xa : xb);
+    return winner;
+  }
+
+  int InitNode(size_t node) {
+    if (node >= cap_) {
+      const size_t r = node - cap_;
+      return (r < runs_.size() && runs_[r]->has()) ? static_cast<int>(r)
+                                                   : kNoRun;
+    }
+    const int a = InitNode(2 * node);
+    const int b = InitNode(2 * node + 1);
+    const int w = Challenge(a, b);
+    tree_[node] = (w == a) ? b : a;
+    return w;
+  }
+
+  std::vector<RunCursor*> runs_;
+  std::vector<MergeCode> codes_;  // current head's code per run
+  std::vector<int> tree_;         // loser at each internal node
+  size_t cap_ = 1;
+  int winner_ = kNoRun;
+  IoStatus io_error_;
+  sort_internal::OvcCounters counters_;
+};
+
+}  // namespace
+
+bool CanExternalSort(const std::vector<MassageInput>& inputs) {
+  int total_width = 0;
+  for (const MassageInput& in : inputs) {
+    if (in.column == nullptr) return false;
+    total_width += in.column->width();
+  }
+  return total_width > 0 && total_width <= 128;
+}
+
+ExternalSorter::ExternalSorter(MultiColumnSorter* sorter,
+                               ExternalSortOptions options)
+    : sorter_(sorter), options_(std::move(options)) {}
+
+ExternalSortResult ExternalSorter::Sort(const std::vector<MassageInput>& inputs,
+                                        const MassagePlan& plan,
+                                        const ExecContext& ctx) {
+  ExternalSortResult result;
+  if (inputs.empty() || inputs[0].column == nullptr) {
+    result.status =
+        Status::InvalidArgument("external sort needs at least one sort column");
+    return result;
+  }
+  if (options_.slice_rows == 0 || options_.block_rows == 0) {
+    result.status =
+        Status::InvalidArgument("external sort slice/block rows must be > 0");
+    return result;
+  }
+  int total_width = 0;
+  for (const MassageInput& in : inputs) total_width += in.column->width();
+  if (total_width > 128) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "composite sort key is %d bits; external merge caps at 128",
+                  total_width);
+    result.status = Status::Unimplemented(buf);
+    return result;
+  }
+  const size_t n = inputs[0].column->size();
+  if (n == 0) {
+    result.groups = Segments::Whole(0);
+    return result;
+  }
+  if (!MakeDirs(options_.dir)) {
+    result.status =
+        Status::Unavailable("cannot create spill directory " + options_.dir);
+    return result;
+  }
+
+  // Guards every exit path below: finished run files are unlinked by this
+  // object, an unfinished one by its RunWriter's destructor.
+  RunCleanup cleanup;
+
+  // --- Phase 1: run generation ---------------------------------------
+  // Each slice is an oid range [begin, end); slice columns are zero-copy
+  // views into the input columns, sorted in memory under the caller's plan.
+  const auto t_gen = std::chrono::steady_clock::now();
+  const uint64_t seq = g_run_seq.fetch_add(1, std::memory_order_relaxed);
+  const size_t num_slices = (n + options_.slice_rows - 1) / options_.slice_rows;
+  for (size_t s = 0; s < num_slices; ++s) {
+    const ExecCode stop = ctx.StopCheck();
+    if (stop != ExecCode::kOk) {
+      result.status = ExecStatus::FromCode(stop).ToStatus();
+      return result;
+    }
+    const size_t begin = s * options_.slice_rows;
+    const size_t end = std::min(n, begin + options_.slice_rows);
+    const size_t slice_n = end - begin;
+
+    std::vector<EncodedColumn> views(inputs.size());
+    std::vector<MassageInput> slice_inputs(inputs.size());
+    std::vector<KeyAttr> attrs;
+    attrs.reserve(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const EncodedColumn& c = *inputs[i].column;
+      const char* base = static_cast<const char*>(c.raw_data());
+      views[i].ResetView(c.width(), c.type(), slice_n,
+                         base + begin * BytesOfPhysicalType(c.type()));
+      slice_inputs[i] = {&views[i], inputs[i].order};
+      attrs.push_back({&views[i], views[i].width(),
+                       inputs[i].order == SortOrder::kDescending});
+    }
+
+    MultiColumnSortResult sorted = sorter_->Sort(slice_inputs, plan, ctx);
+    if (!sorted.status.ok()) {
+      result.status = sorted.status.ToStatus();
+      return result;
+    }
+
+    char name[80];
+    std::snprintf(name, sizeof(name), "run_%d_%llu_%zu.mcr",
+                  static_cast<int>(::getpid()),
+                  static_cast<unsigned long long>(seq), s);
+    const std::string path = options_.dir + "/" + name;
+    RunWriter writer(path, options_.block_rows);
+    IoStatus io = writer.Open();
+    if (io.ok()) {
+      size_t since_check = 0;
+      for (size_t r = 0; r < slice_n; ++r) {
+        if (++since_check >= options_.block_rows) {
+          since_check = 0;
+          const ExecCode st = ctx.StopCheck();
+          if (st != ExecCode::kOk) {
+            result.status = ExecStatus::FromCode(st).ToStatus();
+            return result;  // writer dtor unlinks its temp file
+          }
+        }
+        const Oid local = sorted.oids[r];
+        const unsigned __int128 key = KeyOf(attrs, total_width, local);
+        writer.Add({static_cast<uint64_t>(key >> 64),
+                    static_cast<uint64_t>(key)},
+                   static_cast<Oid>(begin + local));
+      }
+      io = writer.Finish();
+    }
+    if (!io.ok()) {
+      result.status = io.ToStatus();
+      return result;
+    }
+    cleanup.paths.push_back(path);
+    result.run_bytes += writer.bytes_written();
+  }
+  result.num_runs = cleanup.paths.size();
+  result.run_gen_seconds = SecondsSince(t_gen);
+
+  // --- Phase 2: K-way OVC merge ---------------------------------------
+  // Destruction order matters: the loader is declared last so its
+  // destructor drains in-flight block reads while the cursors they target
+  // are still alive.
+  const auto t_merge = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<RunReader>> readers;
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  BlockLoader loader(options_.prefetch ? options_.io_threads : 0);
+  for (const std::string& path : cleanup.paths) {
+    readers.push_back(std::make_unique<RunReader>());
+    const IoStatus io = readers.back()->Open(path);
+    if (!io.ok()) {
+      result.status = io.ToStatus();
+      return result;
+    }
+  }
+  std::vector<RunCursor*> cursor_ptrs;
+  for (const auto& reader : readers) {
+    cursors.push_back(std::make_unique<RunCursor>(reader.get(), &loader));
+    const IoStatus io = cursors.back()->Start();
+    if (!io.ok()) {
+      result.status = io.ToStatus();
+      return result;
+    }
+    cursor_ptrs.push_back(cursors.back().get());
+  }
+
+  CursorLoserTree tree(std::move(cursor_ptrs));
+  result.oids.reserve(n);
+  result.groups.bounds.clear();
+  result.groups.bounds.push_back(0);
+  size_t emitted = 0;
+  size_t since_check = 0;
+  CursorLoserTree::Elem elem;
+  while (tree.Next(&elem)) {
+    if (emitted > 0 && elem.code != 0) {
+      result.groups.bounds.push_back(static_cast<uint32_t>(emitted));
+    }
+    result.oids.push_back(elem.oid);
+    ++emitted;
+    if (++since_check >= options_.block_rows) {
+      since_check = 0;
+      const ExecCode stop = ctx.StopCheck();
+      if (stop != ExecCode::kOk) {
+        result.status = ExecStatus::FromCode(stop).ToStatus();
+        return result;
+      }
+    }
+  }
+  if (!tree.io_error().ok()) {
+    result.status = tree.io_error().ToStatus();
+    return result;
+  }
+  if (emitted != n) {
+    result.status = Status::Internal("external merge emitted wrong row count");
+    return result;
+  }
+  result.groups.bounds.push_back(static_cast<uint32_t>(n));
+  result.merge_seconds = SecondsSince(t_merge);
+  result.merge_emitted = tree.counters().emitted;
+  result.merge_full_compares = tree.counters().full_compares;
+  return result;
+}
+
+}  // namespace external
+}  // namespace mcsort

@@ -1,0 +1,110 @@
+// Spill-capable external multi-column sort: when a plan's scratch estimate
+// exceeds the execution budget, the table is cut into budget-sized row
+// slices, each slice is sorted in memory by the borrowed MultiColumnSorter
+// under the *same* massage plan, and the sorted slices are sunk to
+// page-aligned CRC-checked run files (run_file.h). A K-way tree-of-losers
+// merge over 128-bit composite keys (the dist/merge.h offset-value-code
+// scheme) then streams the runs back in global order, with each run cursor
+// double-buffering its block reads on a dedicated IO pool (block_loader.h).
+//
+// Output contract — value-identical to the in-memory path (the same
+// Lemma-1 guarantee that holds between any two valid massage plans):
+//   * identical group bounds and, per row, identical values of every sort
+//     attribute — i.e. the decoded result is byte-for-byte the same. Oids
+//     may permute only within full-key ties (the in-memory sorter's own
+//     tie order is unspecified; the merge breaks key ties by run index, so
+//     the spilled order is deterministic given the per-slice results).
+//   * Group seams fall out of the merge for free: an emitted offset-value
+//     code of 0 means "same 128-bit key as the previous output row", and
+//     the 128-bit key is an injective encoding of the full attribute tuple
+//     (widths summing to <= 128), so code != 0 is precisely a group
+//     boundary. No comparisons are spent re-detecting seams.
+//
+// Requires the composite key to fit 128 bits (the merge-key cap the
+// distributed tier already lives with); Sort() returns kUnimplemented
+// otherwise and the executor degrades instead of spilling. Run files are
+// unlinked on *every* exit path — success, cancellation, IO error — so a
+// cancelled query leaves zero residue in the spill directory.
+#ifndef MCSORT_SORT_EXTERNAL_EXTERNAL_SORT_H_
+#define MCSORT_SORT_EXTERNAL_EXTERNAL_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/common/exec_context.h"
+#include "mcsort/common/status.h"
+#include "mcsort/engine/multi_column_sorter.h"
+#include "mcsort/massage/massage.h"
+#include "mcsort/massage/plan.h"
+#include "mcsort/scan/group_scan.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+namespace external {
+
+struct ExternalSortOptions {
+  // Directory for run files (created if missing). MCSORT_SPILL_DIR.
+  std::string dir = "/tmp/mcsort-spill";
+  // Rows per run slice; the executor sizes this so one slice's in-memory
+  // sort fits the scratch budget. Must be > 0.
+  size_t slice_rows = 0;
+  // Rows per run-file block (the IO/prefetch granule).
+  size_t block_rows = size_t{1} << 16;
+  // Double-buffer block reads on dedicated IO threads; false = every block
+  // read is synchronous on the merge thread (MCSORT_SPILL_PREFETCH=0).
+  bool prefetch = true;
+  int io_threads = 2;
+};
+
+struct ExternalSortResult {
+  // Unified outcome (common/status.h): kOk, kCancelled /
+  // kDeadlineExceeded (cooperative stop), kUnavailable (run-file IO),
+  // kDataLoss (run-file CRC mismatch), kUnimplemented (key > 128 bits),
+  // kInvalidArgument (bad options), or the in-memory sorter's own unwind
+  // mapped through ExecStatus::ToStatus().
+  Status status;
+  // Permutation: row r of the sorted order is input row oids[r].
+  std::vector<Oid> oids;
+  // Final grouping: rows tied on *all* sort attributes.
+  Segments groups;
+
+  // Spill instrumentation (exec.spill.* metrics feed off these).
+  size_t num_runs = 0;
+  uint64_t run_bytes = 0;  // total run-file footprint written
+  double run_gen_seconds = 0;
+  double merge_seconds = 0;
+  uint64_t merge_emitted = 0;
+  uint64_t merge_full_compares = 0;
+};
+
+// True when `inputs` can be externally sorted at all: the composite key
+// (summed code widths) must fit the 128-bit merge key. The executor's
+// spill-vs-degrade router consults this before costing the spill arm.
+bool CanExternalSort(const std::vector<MassageInput>& inputs);
+
+class ExternalSorter {
+ public:
+  // `sorter` is borrowed (the executor's own in-memory sorter, so the
+  // spill path inherits its thread pool and kernel overrides).
+  ExternalSorter(MultiColumnSorter* sorter, ExternalSortOptions options);
+
+  // Runs the full spill sort: slice -> in-memory sort -> run files ->
+  // K-way OVC merge. `plan` is the massage plan chosen for the full table
+  // (plans depend only on code widths, so it is valid per slice).
+  // Stop sources in `ctx` are honored at slice, block, and merge-chunk
+  // boundaries; on any non-kOk outcome the result arrays are partial
+  // garbage and every run file has already been unlinked.
+  ExternalSortResult Sort(const std::vector<MassageInput>& inputs,
+                          const MassagePlan& plan, const ExecContext& ctx);
+
+ private:
+  MultiColumnSorter* sorter_;
+  ExternalSortOptions options_;
+};
+
+}  // namespace external
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_EXTERNAL_EXTERNAL_SORT_H_

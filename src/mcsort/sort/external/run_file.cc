@@ -1,0 +1,276 @@
+#include "mcsort/sort/external/run_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/net/wire.h"
+
+namespace mcsort {
+namespace external {
+namespace {
+
+IoStatus Errno(const char* what, const std::string& path) {
+  return IoStatus::Error(IoCode::kIoError, std::string(what) + " " + path +
+                                               ": " + std::strerror(errno));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunWriter
+// ---------------------------------------------------------------------------
+
+RunWriter::RunWriter(std::string path, size_t block_rows)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      block_rows_(block_rows > 0 ? block_rows : 1) {}
+
+RunWriter::~RunWriter() { Abort(); }
+
+IoStatus RunWriter::Open() {
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Errno("open", tmp_path_);
+  // Preamble, zero-padded so the first block starts page-aligned.
+  std::string preamble;
+  PutU32(&preamble, kRunMagic);
+  PutU32(&preamble, kRunVersion);
+  preamble.resize(kRunPageBytes, '\0');
+  if (!WriteAll(preamble.data(), preamble.size())) return error_;
+  pending_.hi.reserve(block_rows_);
+  pending_.lo.reserve(block_rows_);
+  pending_.oid.reserve(block_rows_);
+  return IoStatus::Ok();
+}
+
+bool RunWriter::WriteAll(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd_, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (error_.ok()) error_ = Errno("write", tmp_path_);
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+    offset_ += static_cast<uint64_t>(w);
+  }
+  return true;
+}
+
+void RunWriter::Add(dist::Key128 key, Oid oid) {
+  if (!error_.ok() || fd_ < 0) return;
+  pending_.hi.push_back(key.hi);
+  pending_.lo.push_back(key.lo);
+  pending_.oid.push_back(oid);
+  ++rows_;
+  if (pending_.rows() >= block_rows_) FlushBlock();
+}
+
+void RunWriter::FlushBlock() {
+  const size_t r = pending_.rows();
+  if (r == 0 || !error_.ok()) return;
+  // Pad to the next page boundary, then emit the SoA block.
+  const uint64_t aligned = RoundUp(offset_, kRunPageBytes);
+  if (aligned > offset_) {
+    const std::string pad(static_cast<size_t>(aligned - offset_), '\0');
+    if (!WriteAll(pad.data(), pad.size())) return;
+  }
+  std::string block;
+  block.reserve(r * kRunRowBytes);
+  block.append(reinterpret_cast<const char*>(pending_.hi.data()), r * 8);
+  block.append(reinterpret_cast<const char*>(pending_.lo.data()), r * 8);
+  block.append(reinterpret_cast<const char*>(pending_.oid.data()), r * 4);
+  BlockRecord record;
+  record.offset = offset_;
+  record.rows = static_cast<uint32_t>(r);
+  record.crc = net::Crc32c(block.data(), block.size());
+  if (!WriteAll(block.data(), block.size())) return;
+  blocks_.push_back(record);
+  pending_.Clear();
+}
+
+IoStatus RunWriter::Finish() {
+  if (fd_ < 0) {
+    return error_.ok() ? IoStatus::Error(IoCode::kIoError, "writer not open")
+                       : error_;
+  }
+  FlushBlock();
+  if (error_.ok()) {
+    std::string dir;
+    dir.reserve(blocks_.size() * 16);
+    for (const BlockRecord& b : blocks_) {
+      PutU64(&dir, b.offset);
+      PutU32(&dir, b.rows);
+      PutU32(&dir, b.crc);
+    }
+    const uint64_t dir_offset = offset_;
+    std::string tail;
+    PutU64(&tail, rows_);
+    PutU32(&tail, static_cast<uint32_t>(blocks_.size()));
+    PutU32(&tail, static_cast<uint32_t>(block_rows_));
+    PutU64(&tail, dir_offset);
+    PutU32(&tail, net::Crc32c(dir.data(), dir.size()));
+    PutU32(&tail, kRunMagic);
+    if (WriteAll(dir.data(), dir.size())) WriteAll(tail.data(), tail.size());
+  }
+  if (!error_.ok()) {
+    Abort();
+    return error_;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const IoStatus st = Errno("rename", tmp_path_);
+    ::unlink(tmp_path_.c_str());
+    return st;
+  }
+  finished_ = true;
+  return IoStatus::Ok();
+}
+
+void RunWriter::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(tmp_path_.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunReader
+// ---------------------------------------------------------------------------
+
+RunReader::~RunReader() { Close(); }
+
+void RunReader::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  blocks_.clear();
+  rows_ = 0;
+}
+
+IoStatus RunReader::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return Errno("open", path);
+#ifdef POSIX_FADV_SEQUENTIAL
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_SEQUENTIAL);
+#endif
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path);
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kRunPageBytes + kRunTailBytes) {
+    return IoStatus::Error(IoCode::kCorrupt, "run file truncated: " + path);
+  }
+  uint8_t tail[kRunTailBytes];
+  if (::pread(fd_, tail, sizeof(tail),
+              static_cast<off_t>(size - kRunTailBytes)) !=
+      static_cast<ssize_t>(sizeof(tail))) {
+    return Errno("pread tail", path);
+  }
+  uint64_t dir_offset;
+  uint32_t num_blocks, dir_crc, magic;
+  std::memcpy(&rows_, tail, 8);
+  std::memcpy(&num_blocks, tail + 8, 4);
+  std::memcpy(&dir_offset, tail + 16, 8);
+  std::memcpy(&dir_crc, tail + 24, 4);
+  std::memcpy(&magic, tail + 28, 4);
+  if (magic != kRunMagic) {
+    return IoStatus::Error(IoCode::kBadMagic, "not a run file: " + path);
+  }
+  const uint64_t dir_bytes = uint64_t{num_blocks} * 16;
+  if (dir_offset + dir_bytes + kRunTailBytes != size) {
+    return IoStatus::Error(IoCode::kCorrupt,
+                           "run directory out of bounds: " + path);
+  }
+  std::vector<uint8_t> dir(dir_bytes);
+  if (dir_bytes > 0 &&
+      ::pread(fd_, dir.data(), dir.size(), static_cast<off_t>(dir_offset)) !=
+          static_cast<ssize_t>(dir.size())) {
+    return Errno("pread directory", path);
+  }
+  if (net::Crc32c(dir.data(), dir.size()) != dir_crc) {
+    return IoStatus::Error(IoCode::kCorrupt,
+                           "run directory checksum mismatch: " + path);
+  }
+  blocks_.resize(num_blocks);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_blocks; ++i) {
+    std::memcpy(&blocks_[i].offset, dir.data() + i * 16, 8);
+    std::memcpy(&blocks_[i].rows, dir.data() + i * 16 + 8, 4);
+    std::memcpy(&blocks_[i].crc, dir.data() + i * 16 + 12, 4);
+    if (blocks_[i].offset + uint64_t{blocks_[i].rows} * kRunRowBytes >
+        dir_offset) {
+      return IoStatus::Error(IoCode::kCorrupt,
+                             "run block out of bounds: " + path);
+    }
+    total += blocks_[i].rows;
+  }
+  if (total != rows_) {
+    return IoStatus::Error(IoCode::kCorrupt,
+                           "run row count mismatch: " + path);
+  }
+  return IoStatus::Ok();
+}
+
+IoStatus RunReader::ReadBlock(size_t i, RunBlock* out) const {
+  const BlockRecord& b = blocks_[i];
+  const size_t r = b.rows;
+  const size_t bytes = r * kRunRowBytes;
+  std::vector<uint8_t> buf(bytes);
+  ssize_t got = 0;
+  while (static_cast<size_t>(got) < bytes) {
+    const ssize_t n =
+        ::pread(fd_, buf.data() + got, bytes - static_cast<size_t>(got),
+                static_cast<off_t>(b.offset) + got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread block", path_);
+    }
+    if (n == 0) {
+      return IoStatus::Error(IoCode::kCorrupt, "run block truncated: " + path_);
+    }
+    got += n;
+  }
+  if (net::Crc32c(buf.data(), buf.size()) != b.crc) {
+    return IoStatus::Error(IoCode::kCorrupt,
+                           "run block checksum mismatch: " + path_);
+  }
+  out->hi.resize(r);
+  out->lo.resize(r);
+  out->oid.resize(r);
+  std::memcpy(out->hi.data(), buf.data(), r * 8);
+  std::memcpy(out->lo.data(), buf.data() + r * 8, r * 8);
+  std::memcpy(out->oid.data(), buf.data() + r * 16, r * 4);
+  return IoStatus::Ok();
+}
+
+void RunReader::WillNeed(size_t i) const {
+#ifdef POSIX_FADV_WILLNEED
+  if (i < blocks_.size()) {
+    ::posix_fadvise(fd_, static_cast<off_t>(blocks_[i].offset),
+                    static_cast<off_t>(blocks_[i].rows * kRunRowBytes),
+                    POSIX_FADV_WILLNEED);
+  }
+#endif
+}
+
+}  // namespace external
+}  // namespace mcsort

@@ -1,0 +1,155 @@
+// On-disk sorted-run format for the external (spill) multi-column sort.
+//
+// A run file holds one slice's worth of rows in sorted order, each row a
+// 128-bit composite merge key (dist/merge_keys.h layout) plus the row's
+// oid. Rows are stored in page-aligned blocks of SoA arrays so the merge
+// phase streams them with large sequential reads:
+//
+//   offset 0       preamble: magic 'MCR1' u32, version u32 (then zero pad
+//                  to the first page boundary)
+//   page-aligned   block i: hi[r_i] u64 | lo[r_i] u64 | oid[r_i] u32
+//   ...
+//   dir_offset     directory: num_blocks x {offset u64, rows u32, crc u32}
+//   EOF - 32       tail: rows u64, num_blocks u32, block_rows u32,
+//                  dir_offset u64, dir_crc u32, magic u32
+//
+// Every block carries its own CRC32C (net/wire.h's Castagnoli codec, the
+// same checksum the snapshot format uses) and the directory is itself
+// CRC-checked, so a truncated or bit-rotted run is a typed kCorrupt
+// result, never silently wrong merge output. Writers follow the snapshot
+// codec's temp-file discipline: bytes land in `path + ".tmp"` and the
+// final name only appears on a successful Finish() — crash leftovers are
+// `*.tmp` files the catalog hygiene sweep deletes.
+#ifndef MCSORT_SORT_EXTERNAL_RUN_FILE_H_
+#define MCSORT_SORT_EXTERNAL_RUN_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsort/dist/merge.h"
+#include "mcsort/io/io_status.h"
+#include "mcsort/storage/types.h"
+
+namespace mcsort {
+namespace external {
+
+constexpr uint32_t kRunMagic = 0x3152434Du;  // "MCR1" little-endian
+constexpr uint32_t kRunVersion = 1;
+constexpr size_t kRunPageBytes = 4096;
+constexpr size_t kRunTailBytes = 32;
+// Per-row bytes in a block: hi u64 + lo u64 + oid u32.
+constexpr size_t kRunRowBytes = 20;
+
+// One decoded block, ready for the merge cursor. The typed arrays are
+// copies (never views into IO buffers), so alignment is guaranteed.
+struct RunBlock {
+  std::vector<uint64_t> hi;
+  std::vector<uint64_t> lo;
+  std::vector<Oid> oid;
+
+  size_t rows() const { return oid.size(); }
+  void Clear() {
+    hi.clear();
+    lo.clear();
+    oid.clear();
+  }
+};
+
+// Streams sorted (key, oid) rows into a run file. Usage:
+//
+//   RunWriter writer(path, block_rows);
+//   IoStatus st = writer.Open();
+//   for (...) writer.Add(key, oid);     // sorted order
+//   st = writer.Finish();               // or writer.Abort() on unwind
+//
+// Not thread-safe. Abort() (also run by the destructor when Finish was
+// never reached) closes and unlinks the temp file so cancellation leaves
+// no residue.
+class RunWriter {
+ public:
+  RunWriter(std::string path, size_t block_rows);
+  ~RunWriter();
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
+
+  IoStatus Open();
+  // Appends one row; flushes a full block to disk. Errors are sticky and
+  // re-surfaced by Finish().
+  void Add(dist::Key128 key, Oid oid);
+  // Flushes the partial block, writes directory + tail, and renames the
+  // temp file onto `path()`.
+  IoStatus Finish();
+  // Closes and unlinks the temp file (no-op after Finish/Abort).
+  void Abort();
+
+  const std::string& path() const { return path_; }
+  uint64_t rows() const { return rows_; }
+  // Bytes written so far (the spill footprint metric).
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  struct BlockRecord {
+    uint64_t offset = 0;
+    uint32_t rows = 0;
+    uint32_t crc = 0;
+  };
+
+  void FlushBlock();
+  bool WriteAll(const void* data, size_t n);
+
+  std::string path_;
+  std::string tmp_path_;
+  size_t block_rows_;
+  int fd_ = -1;
+  bool finished_ = false;
+  uint64_t rows_ = 0;
+  uint64_t offset_ = 0;  // next write offset
+  RunBlock pending_;
+  std::vector<BlockRecord> blocks_;
+  IoStatus error_;  // sticky first error
+};
+
+// Random-access reader over a finished run file. Open() validates the
+// tail and the directory checksum; ReadBlock() validates each block's
+// CRC32C. Thread-safe for concurrent ReadBlock calls (pread-based) — the
+// async block loader reads ahead from worker threads.
+class RunReader {
+ public:
+  RunReader() = default;
+  ~RunReader();
+
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  IoStatus Open(const std::string& path);
+  void Close();
+
+  uint64_t rows() const { return rows_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t block_rows(size_t i) const { return blocks_[i].rows; }
+
+  // Reads and CRC-verifies block `i` into `out`.
+  IoStatus ReadBlock(size_t i, RunBlock* out) const;
+  // posix_fadvise(WILLNEED) hint for block `i`'s byte range.
+  void WillNeed(size_t i) const;
+
+ private:
+  struct BlockRecord {
+    uint64_t offset = 0;
+    uint32_t rows = 0;
+    uint32_t crc = 0;
+  };
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t rows_ = 0;
+  std::vector<BlockRecord> blocks_;
+};
+
+}  // namespace external
+}  // namespace mcsort
+
+#endif  // MCSORT_SORT_EXTERNAL_RUN_FILE_H_

@@ -21,7 +21,9 @@
 #include "mcsort/common/random.h"
 #include "mcsort/engine/multi_column_sorter.h"
 #include "mcsort/io/csv_ingest.h"
+#include "mcsort/io/fs_util.h"
 #include "mcsort/net/wire.h"
+#include "mcsort/service/query_service.h"
 #include "mcsort/storage/table.h"
 
 namespace mcsort {
@@ -356,6 +358,64 @@ TEST(CsvIngestTest, IngestedTableSurvivesSnapshotRoundTrip) {
     ASSERT_TRUE(Table::LoadSnapshot(dir, load, &loaded).ok());
     ExpectTablesEquivalent(table, loaded);
   }
+}
+
+// --------------------------------------------------------------------------
+// Temp-file hygiene (io/fs_util.h + the catalog's attach-time sweep)
+// --------------------------------------------------------------------------
+
+TEST(FsUtilTest, RemoveFileIsIdempotent) {
+  TempDir tmp;
+  const std::string path = tmp.path() + "/x";
+  WriteFile(path, "data");
+  EXPECT_TRUE(RemoveFile(path));
+  EXPECT_TRUE(RemoveFile(path));  // already gone counts as success
+}
+
+TEST(FsUtilTest, CleanupTempFilesRemovesOnlySuffixMatches) {
+  TempDir tmp;
+  WriteFile(tmp.path() + "/a.tmp", "orphan");
+  WriteFile(tmp.path() + "/b.col.tmp", "orphan");
+  WriteFile(tmp.path() + "/keep.col", "finished artifact");
+  WriteFile(tmp.path() + "/tmp", "name is exactly the suffix: keep");
+  ASSERT_TRUE(MakeDirs(tmp.path() + "/sub.tmp"));  // directories untouched
+
+  EXPECT_EQ(CleanupTempFiles(tmp.path()), 2u);
+  EXPECT_EQ(CleanupTempFiles(tmp.path()), 0u);  // idempotent
+  std::string bytes;
+  EXPECT_TRUE(ReadFileToString(tmp.path() + "/keep.col", &bytes).ok());
+  EXPECT_TRUE(ReadFileToString(tmp.path() + "/tmp", &bytes).ok());
+  EXPECT_FALSE(ReadFileToString(tmp.path() + "/a.tmp", &bytes).ok());
+  // Missing directory is a quiet zero, not an error.
+  EXPECT_EQ(CleanupTempFiles(tmp.path() + "/nonexistent"), 0u);
+}
+
+TEST(FsUtilTest, CatalogAttachSweepsOrphanedTempFiles) {
+  // A crash between "write MANIFEST.mcs.tmp" and the rename leaves *.tmp
+  // orphans in the catalog root and inside table directories. Attaching
+  // the catalog must delete them and still register the intact snapshot.
+  TempDir tmp;
+  const Table table = MakeBankSpanningTable(512, 77);
+  ASSERT_TRUE(SaveTableSnapshot(table, tmp.path() + "/t").ok());
+  WriteFile(tmp.path() + "/stray.tmp", "crash leftover at the root");
+  WriteFile(tmp.path() + "/t/MANIFEST.mcs.tmp", "interrupted re-save");
+  WriteFile(tmp.path() + "/t/0.col.tmp", "interrupted segment");
+
+  QueryService service(ServiceOptions{});
+  CatalogOptions catalog;
+  catalog.dir = tmp.path();
+  service.SetCatalog(catalog);
+
+  EXPECT_EQ(
+      service.metrics().counter("catalog.tmp_orphans_removed")->value(), 3u);
+  std::string bytes;
+  EXPECT_FALSE(ReadFileToString(tmp.path() + "/stray.tmp", &bytes).ok());
+  EXPECT_FALSE(
+      ReadFileToString(tmp.path() + "/t/MANIFEST.mcs.tmp", &bytes).ok());
+  // The real snapshot still loads through the swept catalog.
+  const std::shared_ptr<const Table> loaded = service.FindTableShared("t");
+  ASSERT_NE(loaded, nullptr);
+  ExpectTablesEquivalent(table, *loaded);
 }
 
 }  // namespace

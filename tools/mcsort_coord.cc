@@ -170,7 +170,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.merge_emitted),
               static_cast<unsigned long long>(result.merge_full_compares));
   if (!result.ok()) {
-    std::fprintf(stderr, "mcsort_coord: %s\n", result.detail.c_str());
+    std::fprintf(stderr, "mcsort_coord: %s\n",
+                 result.ToStatus().ToString().c_str());
     return 1;
   }
   if (query == "group") {

@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/io/csv_ingest.h"
 #include "mcsort/io/snapshot.h"
 #include "mcsort/storage/table.h"
@@ -101,7 +101,7 @@ bool TablesIdentical(const Table& want, const Table& got, const char* mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_dir = DataDirFromEnv();
+  std::string out_dir = mcsort::ExecOptions::FromEnv().data_dir;
   if (out_dir.empty()) out_dir = ".";
   CsvIngestOptions options;
   bool verify = false;

@@ -11,7 +11,7 @@
 #include <thread>
 
 #include "demo_table.h"
-#include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/net/server.h"
 #include "mcsort/service/query_service.h"
 
@@ -30,10 +30,15 @@ void HandleSignal(int) {
 int main() {
   using namespace mcsort;
 
-  const size_t rows = EnvU64("MCSORT_N", 1u << 20);
+  // The one place this binary reads the environment: every MCSORT_* knob
+  // is parsed into the typed config up front and passed down as structs.
+  const ExecOptions env = ExecOptions::FromEnv();
+  const size_t rows = env.demo_rows;
   const Table table = MakeDemoTable(rows);
 
-  ServiceOptions service_options = ServiceOptions::FromEnv();
+  ServiceOptions service_options;
+  service_options.rho = env.rho;
+  service_options.threads = env.threads;
   if (service_options.threads <= 1) {
     service_options.threads = std::max(
         2u, std::thread::hardware_concurrency() / 2);
@@ -46,18 +51,15 @@ int main() {
   // register unloaded and materialize on first query; MCSORT_MMAP=1 maps
   // code arrays zero-copy instead of buffered reads, and
   // MCSORT_MEMORY_BUDGET (bytes) bounds the resident set via LRU eviction.
-  const std::string data_dir = DataDirFromEnv();
-  if (!data_dir.empty()) {
+  if (!env.data_dir.empty()) {
     CatalogOptions catalog;
-    catalog.dir = data_dir;
-    catalog.load.mode = EnvU64("MCSORT_MMAP", 0) != 0
-                            ? SnapshotLoadMode::kMmap
-                            : SnapshotLoadMode::kBuffered;
-    catalog.memory_budget_bytes = EnvU64("MCSORT_MEMORY_BUDGET", 0);
+    catalog.dir = env.data_dir;
+    catalog.load.mode = env.mmap_snapshots ? SnapshotLoadMode::kMmap
+                                           : SnapshotLoadMode::kBuffered;
+    catalog.memory_budget_bytes = env.memory_budget_bytes;
     service.SetCatalog(catalog);
-    std::printf("catalog: %s (%s load)\n", data_dir.c_str(),
-                catalog.load.mode == SnapshotLoadMode::kMmap ? "mmap"
-                                                             : "buffered");
+    std::printf("catalog: %s (%s load)\n", env.data_dir.c_str(),
+                env.mmap_snapshots ? "mmap" : "buffered");
   }
 
   net::ServerOptions options = net::ServerOptions::FromEnv();

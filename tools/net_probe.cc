@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "mcsort/common/env.h"
+#include "mcsort/common/options.h"
 #include "mcsort/net/client.h"
 #include "mcsort/net/fuzz_corpus.h"
 
@@ -168,8 +169,9 @@ int main() {
   using namespace mcsort;
   using namespace mcsort::net;
 
-  const std::string host = HostFromEnv();
-  const uint16_t port = PortFromEnv(0);
+  const mcsort::ServerOptions server_env = mcsort::ServerOptions::FromEnv();
+  const std::string host = server_env.host;
+  const uint16_t port = server_env.port;
   if (port == 0) {
     std::fprintf(stderr, "net_probe: set MCSORT_PORT to the server port\n");
     return 2;
