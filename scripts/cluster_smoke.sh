@@ -10,13 +10,15 @@
 # survive one dead process fails the script.
 #
 # Usage: scripts/cluster_smoke.sh [build-dir]   (default: build)
-# Env:   MCSORT_SMOKE_BASE_PORT (default 19741),
+# Env:   MCSORT_SMOKE_BASE_PORT (default 0 = ephemeral — every server
+#        binds port 0 and the script reads the kernel-assigned port back
+#        from its log, so parallel CI jobs cannot collide),
 #        MCSORT_SMOKE_ROWS (default 1<<17)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
-base_port="${MCSORT_SMOKE_BASE_PORT:-19741}"
+base_port="${MCSORT_SMOKE_BASE_PORT:-0}"
 rows="${MCSORT_SMOKE_ROWS:-131072}"
 
 shard_bin="${build_dir}/tools/mcsort_shard"
@@ -41,45 +43,62 @@ cleanup() {
 trap cleanup EXIT
 
 # Port layout: full server, shard 0/1/2 primaries, shard 0 replica.
-full_port=$((base_port))
-s0_port=$((base_port + 1))
-s1_port=$((base_port + 2))
-s2_port=$((base_port + 3))
-s0_replica_port=$((base_port + 4))
+# base_port=0 (the default) binds ephemeral ports; the actual port is
+# parsed back from each server's startup line.
+port_of() { # index -> requested port
+  if ((base_port == 0)); then echo 0; else echo $((base_port + $1)); fi
+}
 
 echo "=== sharding ${rows} demo rows into 3 shards (+ unsharded copy) ==="
 "${shard_bin}" --demo "${rows}" --shards 3 --mode hash --table part \
   --full "${data_dir}"
 
+# Starts one server, waits for its listening line, and retries ONCE when
+# the bind lost a race (EADDRINUSE) — the flake mode of fixed-port CI runs.
 start_server() {
-  local dir="$1" port="$2" log="$3"
-  MCSORT_DATA_DIR="${dir}" MCSORT_PORT="${port}" \
-    "${server_bin}" > "${log}" 2>&1 &
-  pids+=($!)
-  disown $!  # no job-control "Killed" noise when cleanup reaps them
+  local dir="$1" port="$2" log="$3" attempt pid
+  for attempt in 1 2; do
+    MCSORT_DATA_DIR="${dir}" MCSORT_PORT="${port}" \
+      "${server_bin}" > "${log}" 2>&1 &
+    pid=$!
+    disown "${pid}"  # no job-control "Killed" noise when cleanup reaps them
+    for _ in $(seq 1 100); do
+      if grep -q "mcsort_server listening" "${log}" 2> /dev/null; then
+        pids+=("${pid}")
+        return 0
+      fi
+      if ! kill -0 "${pid}" 2> /dev/null; then break; fi
+      sleep 0.1
+    done
+    kill -9 "${pid}" 2> /dev/null || true
+    if ((attempt == 1)) \
+        && grep -qiE "address already in use|EADDRINUSE" "${log}"; then
+      echo "bind race on ${log}; retrying once" >&2
+      continue
+    fi
+    echo "server ${log} never reported listening:" >&2
+    cat "${log}" >&2
+    exit 1
+  done
+}
+
+# The port the server in `log` actually bound.
+bound_port() {
+  sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$1" | head -1
 }
 
 echo "=== starting 5 servers (full, 3 shard primaries, shard 0 replica) ==="
-start_server "${data_dir}/full" "${full_port}" "${data_dir}/full.log"
-start_server "${data_dir}/shard0" "${s0_port}" "${data_dir}/s0.log"
-start_server "${data_dir}/shard1" "${s1_port}" "${data_dir}/s1.log"
-start_server "${data_dir}/shard2" "${s2_port}" "${data_dir}/s2.log"
-start_server "${data_dir}/shard0" "${s0_replica_port}" "${data_dir}/s0r.log"
+start_server "${data_dir}/full" "$(port_of 0)" "${data_dir}/full.log"
+start_server "${data_dir}/shard0" "$(port_of 1)" "${data_dir}/s0.log"
+start_server "${data_dir}/shard1" "$(port_of 2)" "${data_dir}/s1.log"
+start_server "${data_dir}/shard2" "$(port_of 3)" "${data_dir}/s2.log"
+start_server "${data_dir}/shard0" "$(port_of 4)" "${data_dir}/s0r.log"
 
-for log in full s0 s1 s2 s0r; do
-  for _ in $(seq 1 100); do
-    if grep -q "mcsort_server listening" "${data_dir}/${log}.log" \
-        2> /dev/null; then
-      break
-    fi
-    sleep 0.1
-  done
-  grep -q "mcsort_server listening" "${data_dir}/${log}.log" || {
-    echo "server ${log} never reported listening:" >&2
-    cat "${data_dir}/${log}.log" >&2
-    exit 1
-  }
-done
+full_port="$(bound_port "${data_dir}/full.log")"
+s0_port="$(bound_port "${data_dir}/s0.log")"
+s1_port="$(bound_port "${data_dir}/s1.log")"
+s2_port="$(bound_port "${data_dir}/s2.log")"
+s0_replica_port="$(bound_port "${data_dir}/s0r.log")"
 
 run_coord() {
   "${coord_bin}" --table part \

@@ -8,12 +8,13 @@
 # the SAVE_TABLE/LOAD_TABLE wire opcodes through the probe.
 #
 # Usage: scripts/ingest_smoke.sh [build-dir]   (default: build)
-# Env:   MCSORT_SMOKE_PORT (default 19741), MCSORT_SMOKE_ROWS (default 100k)
+# Env:   MCSORT_SMOKE_PORT (default 0 = ephemeral; the bound port is read
+#        back from the server log), MCSORT_SMOKE_ROWS (default 100k)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
-port="${MCSORT_SMOKE_PORT:-19741}"
+req_port="${MCSORT_SMOKE_PORT:-0}"
 rows="${MCSORT_SMOKE_ROWS:-100000}"
 drain_timeout=30
 
@@ -52,24 +53,36 @@ awk -v n="${rows}" 'BEGIN {
 echo "=== ingesting into a snapshot (with bit-exact --verify) ==="
 "${ingest_bin}" --verify --out "${work}/data" "${work}/smoke.csv" smoke
 
+# Starts the server (ephemeral port by default, read back into ${port})
+# and retries ONCE when a fixed-port bind lost a race (EADDRINUSE).
 start_server() {
   local mmap="$1"
   local log="$2"
-  MCSORT_PORT="${port}" MCSORT_N=4096 MCSORT_DATA_DIR="${work}/data" \
-    MCSORT_MMAP="${mmap}" "${server_bin}" > "${log}" 2>&1 &
-  server_pid=$!
-  for _ in $(seq 1 100); do
-    if grep -q "mcsort_server listening" "${log}"; then return 0; fi
-    if ! kill -0 "${server_pid}" 2> /dev/null; then
-      echo "server exited before listening:" >&2
-      cat "${log}" >&2
-      exit 1
+  local attempt
+  for attempt in 1 2; do
+    MCSORT_PORT="${req_port}" MCSORT_N=4096 MCSORT_DATA_DIR="${work}/data" \
+      MCSORT_MMAP="${mmap}" "${server_bin}" > "${log}" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+      if grep -q "mcsort_server listening" "${log}"; then
+        port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+          "${log}" | head -1)"
+        return 0
+      fi
+      if ! kill -0 "${server_pid}" 2> /dev/null; then break; fi
+      sleep 0.1
+    done
+    kill -9 "${server_pid}" 2> /dev/null || true
+    server_pid=""
+    if ((attempt == 1)) \
+        && grep -qiE "address already in use|EADDRINUSE" "${log}"; then
+      echo "bind race; retrying once" >&2
+      continue
     fi
-    sleep 0.1
+    echo "server never reported listening:" >&2
+    cat "${log}" >&2
+    exit 1
   done
-  echo "server never reported listening" >&2
-  cat "${log}" >&2
-  exit 1
 }
 
 stop_server() {

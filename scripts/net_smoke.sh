@@ -7,12 +7,14 @@
 # graceful shutdown is part of the contract, not best-effort.
 #
 # Usage: scripts/net_smoke.sh [build-dir]   (default: build)
-# Env:   MCSORT_SMOKE_PORT (default 19731), MCSORT_SMOKE_ROWS (default 1<<18)
+# Env:   MCSORT_SMOKE_PORT (default 0 = ephemeral; the bound port is read
+#        back from the server log, so parallel CI jobs cannot collide),
+#        MCSORT_SMOKE_ROWS (default 1<<18)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
-port="${MCSORT_SMOKE_PORT:-19731}"
+port="${MCSORT_SMOKE_PORT:-0}"
 rows="${MCSORT_SMOKE_ROWS:-262144}"
 drain_timeout=30
 
@@ -36,24 +38,31 @@ cleanup() {
 trap cleanup EXIT
 
 echo "=== starting mcsort_server on 127.0.0.1:${port} (${rows} rows) ==="
-MCSORT_PORT="${port}" MCSORT_N="${rows}" "${server_bin}" > "${log}" 2>&1 &
-server_pid=$!
-
-# Wait for the startup handshake line before probing.
-for _ in $(seq 1 100); do
+# Retries ONCE when the bind lost a race (EADDRINUSE) — the flake mode of
+# fixed-port CI runs; ephemeral ports (port=0) never hit it.
+for attempt in 1 2; do
+  MCSORT_PORT="${port}" MCSORT_N="${rows}" "${server_bin}" > "${log}" 2>&1 &
+  server_pid=$!
+  # Wait for the startup handshake line before probing.
+  for _ in $(seq 1 100); do
+    if grep -q "mcsort_server listening" "${log}"; then break; fi
+    if ! kill -0 "${server_pid}" 2> /dev/null; then break; fi
+    sleep 0.1
+  done
   if grep -q "mcsort_server listening" "${log}"; then break; fi
-  if ! kill -0 "${server_pid}" 2> /dev/null; then
-    echo "server exited before listening:" >&2
-    cat "${log}" >&2
-    exit 1
+  kill -9 "${server_pid}" 2> /dev/null || true
+  server_pid=""
+  if ((attempt == 1)) \
+      && grep -qiE "address already in use|EADDRINUSE" "${log}"; then
+    echo "bind race; retrying once" >&2
+    continue
   fi
-  sleep 0.1
-done
-grep "mcsort_server listening" "${log}" || {
-  echo "server never reported listening" >&2
+  echo "server never reported listening:" >&2
   cat "${log}" >&2
   exit 1
-}
+done
+# The port actually bound (differs from ${port} when ephemeral).
+port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}" | head -1)"
 
 echo "=== running net_probe ==="
 MCSORT_PORT="${port}" "${probe_bin}"

@@ -32,6 +32,7 @@ tests=(
   dist_test
   status_test
   external_sort_test
+  delta_test
 )
 
 run_flavor() {

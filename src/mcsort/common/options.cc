@@ -39,6 +39,16 @@ ExecOptions ExecOptions::FromEnv() {
     }
   }
   options.spill_dir = EnvStr("MCSORT_SPILL_DIR", options.spill_dir.c_str());
+  {
+    const char* env = std::getenv("MCSORT_COMPACT");
+    if (env != nullptr && env[0] != '\0') {
+      options.compaction_enabled = std::strtoull(env, nullptr, 10) != 0;
+    }
+  }
+  options.compaction_interval_ms =
+      EnvU64("MCSORT_COMPACT_INTERVAL_MS", options.compaction_interval_ms);
+  options.compaction_min_rows =
+      EnvU64("MCSORT_COMPACT_MIN_ROWS", options.compaction_min_rows);
   return options;
 }
 

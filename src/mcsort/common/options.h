@@ -17,6 +17,11 @@
 //   MCSORT_MEMORY_BUDGET           MCSORT_SPILL
 //   MCSORT_SCRATCH_BUDGET          MCSORT_SPILL_DIR
 //                                  MCSORT_SPILL_PREFETCH
+//   write path (delta)
+//   ------------------------
+//   MCSORT_COMPACT
+//   MCSORT_COMPACT_INTERVAL_MS
+//   MCSORT_COMPACT_MIN_ROWS
 //
 // The narrower layer options (ServiceOptions, net::ServerOptions) keep
 // their own FromEnv() for compatibility, implemented by delegating here —
@@ -63,6 +68,13 @@ struct ExecOptions {
   bool spill_enabled = true;
   std::string spill_dir = "/tmp/mcsort-spill";
   bool spill_prefetch = true;
+  // Background compaction of the per-table delta stores (MCSORT_COMPACT=1
+  // enables; the server binary also honours the sweep cadence and the
+  // fold threshold). Disabled by default: embedded/library users drive
+  // compaction explicitly through QueryService::CompactTable.
+  bool compaction_enabled = false;
+  uint64_t compaction_interval_ms = 1000;  // MCSORT_COMPACT_INTERVAL_MS
+  uint64_t compaction_min_rows = 1024;     // MCSORT_COMPACT_MIN_ROWS
 
   static ExecOptions FromEnv();
 };

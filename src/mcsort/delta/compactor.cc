@@ -1,0 +1,73 @@
+#include "mcsort/delta/compactor.h"
+
+#include <chrono>
+#include <utility>
+
+namespace mcsort {
+namespace delta {
+
+Compactor::Compactor(const CompactionOptions& options, Hooks hooks)
+    : options_(options), hooks_(std::move(hooks)) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || !options_.enabled) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&Compactor::Loop, this);
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool Compactor::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t Compactor::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+uint64_t Compactor::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+void Compactor::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [&] { return stop_; });
+      if (stop_) return;
+    }
+    std::vector<std::string> tables = hooks_.list_tables();
+    uint64_t published = 0;
+    for (const std::string& name : tables) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+      }
+      if (hooks_.compact(name)) ++published;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sweeps_;
+    compactions_ += published;
+  }
+}
+
+}  // namespace delta
+}  // namespace mcsort

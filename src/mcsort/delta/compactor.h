@@ -1,0 +1,72 @@
+// Compactor — the background cadence driver of re-encoding.
+//
+// Policy-free by design: the service owns what "compact table X" means
+// (BeginCompaction → BuildMergedTable → tmp+rename persist → Publish) and
+// which tables are due (delta row thresholds); the compactor only owns the
+// thread, the tick interval, and clean shutdown. Keeping it hook-based
+// means delta_test can drive compaction synchronously through the same
+// service entry point the thread uses, so the tested path IS the
+// production path.
+#ifndef MCSORT_DELTA_COMPACTOR_H_
+#define MCSORT_DELTA_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcsort {
+namespace delta {
+
+struct CompactionOptions {
+  bool enabled = false;
+  uint64_t interval_ms = 1000;   // tick period between sweeps
+  uint64_t min_delta_rows = 1024;  // service-side threshold (advisory here)
+};
+
+class Compactor {
+ public:
+  struct Hooks {
+    // Names of tables to consider this sweep (the service applies its
+    // min_delta_rows threshold when building this list).
+    std::function<std::vector<std::string>()> list_tables;
+    // Compacts one table; returns true when a new epoch was published.
+    std::function<bool(const std::string&)> compact;
+  };
+
+  Compactor(const CompactionOptions& options, Hooks hooks);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  // Starts the sweep thread (no-op when already running or !enabled).
+  void Start();
+  // Stops and joins; safe to call repeatedly.
+  void Stop();
+
+  bool running() const;
+  uint64_t sweeps() const;       // completed sweep passes
+  uint64_t compactions() const;  // published epochs across all tables
+
+ private:
+  void Loop();
+
+  const CompactionOptions options_;
+  const Hooks hooks_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  uint64_t sweeps_ = 0;
+  uint64_t compactions_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace delta
+}  // namespace mcsort
+
+#endif  // MCSORT_DELTA_COMPACTOR_H_

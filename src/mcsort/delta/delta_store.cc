@@ -1,0 +1,87 @@
+#include "mcsort/delta/delta_store.h"
+
+#include <utility>
+
+#include "mcsort/common/logging.h"
+#include "mcsort/delta/dml.h"
+
+namespace mcsort {
+namespace delta {
+
+const char* DmlOpName(DmlOp op) {
+  switch (op) {
+    case DmlOp::kInsert: return "insert";
+    case DmlOp::kDelete: return "delete";
+    case DmlOp::kUpdate: return "update";
+  }
+  return "unknown";
+}
+
+uint32_t DeltaStore::AppendRow(std::vector<int64_t> values) {
+  MCSORT_CHECK(values.size() == num_columns_);
+  rows_.push_back(std::move(values));
+  dead_.push_back(0);
+  ++mutation_seq_;
+  return static_cast<uint32_t>(rows_.size() - 1);
+}
+
+bool DeltaStore::TombstoneBase(uint32_t oid) {
+  if (!base_tomb_set_.insert(oid).second) return false;
+  base_tomb_list_.push_back(oid);
+  ++mutation_seq_;
+  return true;
+}
+
+bool DeltaStore::TombstoneDelta(uint32_t row) {
+  MCSORT_CHECK(row < rows_.size());
+  if (dead_[row] != 0) return false;
+  dead_[row] = 1;
+  ++dead_count_;
+  delta_tomb_list_.push_back(row);
+  ++mutation_seq_;
+  return true;
+}
+
+int64_t DeltaStore::InternOverflow(size_t col, const std::string& value,
+                                   size_t dict_size) {
+  if (overflow_.size() <= col) {
+    overflow_.resize(num_columns_);
+    overflow_index_.resize(num_columns_);
+  }
+  auto [it, inserted] = overflow_index_[col].emplace(value, overflow_[col].size());
+  if (inserted) {
+    overflow_[col].push_back(value);
+    ++mutation_seq_;
+  }
+  return static_cast<int64_t>(dict_size + it->second);
+}
+
+int64_t DeltaStore::FindOverflow(size_t col, const std::string& value,
+                                 size_t dict_size) const {
+  if (overflow_index_.size() <= col) return -1;
+  auto it = overflow_index_[col].find(value);
+  if (it == overflow_index_[col].end()) return -1;
+  return static_cast<int64_t>(dict_size + it->second);
+}
+
+const std::vector<std::string>& DeltaStore::overflow(size_t col) const {
+  static const std::vector<std::string> kEmpty;
+  return col < overflow_.size() ? overflow_[col] : kEmpty;
+}
+
+size_t DeltaStore::overflow_size(size_t col) const {
+  return col < overflow_.size() ? overflow_[col].size() : 0;
+}
+
+size_t DeltaStore::MemoryBytes() const {
+  size_t total = rows_.size() * (num_columns_ * sizeof(int64_t) + 1);
+  total += (base_tomb_list_.size() + delta_tomb_list_.size()) * 2 *
+           sizeof(uint32_t);
+  for (const auto& column : overflow_) {
+    for (const std::string& value : column) total += value.size() + 32;
+  }
+  return total;
+}
+
+}  // namespace delta
+}  // namespace mcsort

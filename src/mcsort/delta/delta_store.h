@@ -1,0 +1,110 @@
+// DeltaStore — the row-oriented, append-friendly side file of one table.
+//
+// The encoded base (storage/table.h) stays immutable; every mutation lands
+// here: INSERTs append full rows, DELETEs record tombstones (against base
+// oids or earlier delta rows), UPDATEs are delete+insert. The store keeps
+// its own in-memory index — hash sets over both tombstone kinds and a
+// per-column intern table for strings outside the base dictionary — so
+// membership checks during scans and repeated DML stay O(1).
+//
+// Row representation: one int64 per column.
+//   * numeric columns (plain or domain-encoded) store the NATIVE value —
+//     encoding against a base is deferred to merge/compaction, so the
+//     stored row never goes stale when the base is re-encoded;
+//   * string (dictionary) columns store a value id: ids < dict_size are
+//     base dictionary codes, ids >= dict_size index the per-column
+//     overflow table (`id - dict_size`), the "unmappable until
+//     compaction" route of the paper-preserving write path.
+//
+// Thread contract: NOT thread-safe. TableVersion (table_version.h) owns
+// the store and serializes access under its mutex; snapshots for
+// merge-at-scan and compaction are prefix copies taken under that mutex.
+#ifndef MCSORT_DELTA_DELTA_STORE_H_
+#define MCSORT_DELTA_DELTA_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcsort {
+namespace delta {
+
+class DeltaStore {
+ public:
+  DeltaStore() = default;
+  explicit DeltaStore(size_t num_columns) : num_columns_(num_columns) {}
+
+  DeltaStore(DeltaStore&&) = default;
+  DeltaStore& operator=(DeltaStore&&) = default;
+
+  size_t num_columns() const { return num_columns_; }
+
+  // --- rows ---------------------------------------------------------------
+  // Appends a full row (values.size() == num_columns()); returns its delta
+  // row index.
+  uint32_t AppendRow(std::vector<int64_t> values);
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<int64_t>& row(size_t i) const { return rows_[i]; }
+  bool row_dead(size_t i) const { return dead_[i] != 0; }
+  // Live (not tombstoned) delta rows.
+  uint64_t live_rows() const { return rows_.size() - dead_count_; }
+
+  // --- tombstones ---------------------------------------------------------
+  // Tombstones a base row by oid / a delta row by index. Idempotent;
+  // returns true when the row was live before the call. Tombstones are
+  // kept in arrival order so snapshots can consume a stable prefix.
+  bool TombstoneBase(uint32_t oid);
+  bool TombstoneDelta(uint32_t row);
+  bool base_dead(uint32_t oid) const {
+    return base_tomb_set_.count(oid) != 0;
+  }
+  const std::vector<uint32_t>& base_tombstones() const {
+    return base_tomb_list_;
+  }
+  const std::vector<uint32_t>& delta_tombstones() const {
+    return delta_tomb_list_;
+  }
+
+  // --- per-column string overflow -----------------------------------------
+  // Interns `value` into column `col`'s overflow table and returns the
+  // stored id (dict_size + overflow index). Deduplicated: re-interning the
+  // same string returns the same id.
+  int64_t InternOverflow(size_t col, const std::string& value,
+                         size_t dict_size);
+  // Looks up `value` without interning; returns the stored id or -1.
+  int64_t FindOverflow(size_t col, const std::string& value,
+                       size_t dict_size) const;
+  const std::vector<std::string>& overflow(size_t col) const;
+  size_t overflow_size(size_t col) const;
+
+  // Total mutations applied (rows + tombstones) — the cache key
+  // merge-at-scan uses to invalidate its materialized image.
+  uint64_t mutation_seq() const { return mutation_seq_; }
+
+  bool empty() const {
+    return rows_.empty() && base_tomb_list_.empty() &&
+           delta_tomb_list_.empty();
+  }
+
+  // Approximate resident footprint for metrics.
+  size_t MemoryBytes() const;
+
+ private:
+  size_t num_columns_ = 0;
+  std::vector<std::vector<int64_t>> rows_;
+  std::vector<uint8_t> dead_;  // parallel to rows_
+  size_t dead_count_ = 0;
+  std::vector<uint32_t> base_tomb_list_;   // arrival order (snapshot prefix)
+  std::unordered_set<uint32_t> base_tomb_set_;   // O(1) membership index
+  std::vector<uint32_t> delta_tomb_list_;
+  std::vector<std::vector<std::string>> overflow_;  // per column, id order
+  std::vector<std::unordered_map<std::string, size_t>> overflow_index_;
+  uint64_t mutation_seq_ = 0;
+};
+
+}  // namespace delta
+}  // namespace mcsort
+
+#endif  // MCSORT_DELTA_DELTA_STORE_H_

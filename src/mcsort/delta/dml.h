@@ -1,0 +1,116 @@
+// DML data model of the write path — the typed commands INSERT / UPDATE /
+// DELETE that mutate a table through its delta store (delta_store.h), and
+// the typed per-row outcome they produce.
+//
+// Values travel in *native* space: numeric columns carry the int64 native
+// value (what `domain_base + code` decodes to; for a plain code column the
+// native value IS the code), string columns carry the string itself. The
+// delta store encodes natives against the base table's dictionary on
+// apply, routing unmappable strings through a per-column overflow mapping
+// until compaction re-encodes everything (merge_scan.h).
+//
+// This header is wire-agnostic on purpose: net/protocol.h provides the
+// codec for shipping a DmlCommand over the kDml frame, and the service
+// applies it; neither direction depends on the other's internals.
+#ifndef MCSORT_DELTA_DML_H_
+#define MCSORT_DELTA_DML_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcsort/common/status.h"
+
+namespace mcsort {
+namespace delta {
+
+enum class DmlOp : uint8_t {
+  kInsert = 1,  // append `rows` (every table column must be assigned)
+  kDelete = 2,  // tombstone the live rows matching `predicate`
+  kUpdate = 3,  // delete+insert: rewrite matching rows with the SET values
+};
+
+// Stable lowercase name ("insert", ...) for metrics keys and logs.
+const char* DmlOpName(DmlOp op);
+
+// One native value: an int64 or a string (for dictionary columns).
+struct DmlValue {
+  bool is_string = false;
+  int64_t i64 = 0;
+  std::string str;
+
+  static DmlValue Int(int64_t v) {
+    DmlValue value;
+    value.i64 = v;
+    return value;
+  }
+  static DmlValue String(std::string s) {
+    DmlValue value;
+    value.is_string = true;
+    value.str = std::move(s);
+    return value;
+  }
+};
+
+// Native-space comparison for DELETE / UPDATE row selection. Evaluated
+// code-side on the immutable base (order-preserving codes make range
+// predicates exact) and value-side on delta rows.
+enum class DmlCompareOp : uint8_t {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+};
+
+struct DmlPredicate {
+  std::string column;
+  DmlCompareOp op = DmlCompareOp::kEq;
+  DmlValue value;
+};
+
+// One mutation command. INSERT: `columns` names every assigned column (a
+// permutation of the table's columns) and `rows` holds one value vector
+// per row, parallel to `columns`. UPDATE: `columns`/`rows[0]` are the SET
+// list and `predicate` selects the rows to rewrite. DELETE: only
+// `predicate` is read.
+struct DmlCommand {
+  DmlOp op = DmlOp::kInsert;
+  std::string table;  // empty = the service's default table
+  std::vector<std::string> columns;
+  std::vector<std::vector<DmlValue>> rows;
+  bool has_predicate = false;
+  DmlPredicate predicate;
+};
+
+// A row INSERT that could not be applied: its index in `rows`, the typed
+// reason, and a human-readable elaboration. Rejected rows are skipped;
+// accepted rows in the same command still land (partial application is
+// reported, never silent).
+struct DmlRowError {
+  uint32_t row = 0;
+  StatusCode code = StatusCode::kInvalidArgument;
+  std::string detail;
+};
+
+// The outcome of applying one DmlCommand. `status` is the op-level
+// verdict (kNotFound for an unknown table, kInvalidArgument for a
+// malformed column list / predicate — cases where nothing was applied);
+// row-level INSERT failures land in `row_errors` with `status` still ok.
+struct DmlOutcome {
+  Status status;
+  uint64_t rows_affected = 0;  // inserted / tombstoned / rewritten
+  uint64_t rows_rejected = 0;  // INSERT rows skipped with a row error
+  uint64_t delta_rows = 0;     // live delta rows after the op
+  uint64_t epoch = 0;          // the table version's epoch after the op
+  std::vector<DmlRowError> row_errors;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace delta
+}  // namespace mcsort
+
+#endif  // MCSORT_DELTA_DML_H_

@@ -1,0 +1,177 @@
+#include "mcsort/delta/merge_scan.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+#include "mcsort/common/bits.h"
+#include "mcsort/common/logging.h"
+#include "mcsort/storage/column.h"
+#include "mcsort/storage/dictionary.h"
+
+namespace mcsort {
+namespace delta {
+namespace {
+
+// Sorted union of the base dictionary and the overflow values, plus the
+// monotone remaps old code -> new code and overflow id -> new code.
+struct DictMerge {
+  std::vector<std::string> merged;       // strictly ascending
+  std::vector<Code> new_code_of_dict;    // size = dict.size()
+  std::vector<Code> new_code_of_ovf;     // size = overflow.size()
+};
+
+DictMerge MergeDictionary(const StringDictionary& dict,
+                          const std::vector<std::string>& overflow) {
+  DictMerge out;
+  const std::vector<std::string>& base_values = dict.values();
+  // Overflow values arrive in intern (id) order; sort an index over them so
+  // the union merge is linear while new_code_of_ovf stays id-addressed.
+  std::vector<size_t> ovf_order(overflow.size());
+  std::iota(ovf_order.begin(), ovf_order.end(), 0);
+  std::sort(ovf_order.begin(), ovf_order.end(),
+            [&](size_t a, size_t b) { return overflow[a] < overflow[b]; });
+
+  out.merged.reserve(base_values.size() + overflow.size());
+  out.new_code_of_dict.resize(base_values.size());
+  out.new_code_of_ovf.resize(overflow.size());
+  size_t i = 0, j = 0;
+  while (i < base_values.size() || j < ovf_order.size()) {
+    Code next = static_cast<Code>(out.merged.size());
+    if (j >= ovf_order.size() ||
+        (i < base_values.size() && base_values[i] < overflow[ovf_order[j]])) {
+      out.new_code_of_dict[i] = next;
+      out.merged.push_back(base_values[i]);
+      ++i;
+    } else if (i >= base_values.size() ||
+               overflow[ovf_order[j]] < base_values[i]) {
+      out.new_code_of_ovf[ovf_order[j]] = next;
+      out.merged.push_back(overflow[ovf_order[j]]);
+      ++j;
+    } else {
+      // Equal — the interning invariant says this cannot happen, but a
+      // duplicate must not reach FromSorted's strict-ascending CHECK.
+      out.new_code_of_dict[i] = next;
+      out.new_code_of_ovf[ovf_order[j]] = next;
+      out.merged.push_back(base_values[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MergedTable BuildMergedTable(const Table& base, const DeltaSnapshot& snap) {
+  MergedTable out;
+  const std::vector<std::string>& names = base.column_names();
+  const size_t n_base = base.row_count();
+  const size_t n_delta = snap.rows.size();
+
+  // Row layout: live base rows in oid order, then live delta rows in
+  // arrival order. Deterministic, so scan-merge and compaction agree.
+  out.new_oid_of_base.assign(n_base, kNoOid);
+  out.new_oid_of_delta.assign(n_delta, kNoOid);
+  std::vector<uint8_t> base_dead(n_base, 0);
+  for (uint32_t oid : snap.base_tombstones) {
+    if (oid < n_base) base_dead[oid] = 1;
+  }
+  uint32_t next_oid = 0;
+  for (size_t oid = 0; oid < n_base; ++oid) {
+    if (!base_dead[oid]) out.new_oid_of_base[oid] = next_oid++;
+  }
+  for (size_t r = 0; r < n_delta; ++r) {
+    if (snap.row_dead.size() <= r || !snap.row_dead[r]) {
+      out.new_oid_of_delta[r] = next_oid++;
+    }
+  }
+  const size_t n_live = next_oid;
+
+  out.table = std::make_shared<Table>(n_live);
+  for (size_t c = 0; c < names.size(); ++c) {
+    const std::string& name = names[c];
+    const EncodedColumn& old_col = base.column(name);
+    EncodedColumn merged_col;
+
+    if (base.HasDictionary(name)) {
+      const StringDictionary& dict = base.dictionary(name);
+      static const std::vector<std::string> kNoOverflow;
+      const std::vector<std::string>& overflow =
+          c < snap.overflow.size() ? snap.overflow[c] : kNoOverflow;
+      DictMerge dm = MergeDictionary(dict, overflow);
+      const int width =
+          std::max(1, BitsForCount(static_cast<uint64_t>(dm.merged.size())));
+      merged_col.Reset(width, n_live);
+      for (size_t oid = 0; oid < n_base; ++oid) {
+        uint32_t dst = out.new_oid_of_base[oid];
+        if (dst == kNoOid) continue;
+        merged_col.Set(dst, dm.new_code_of_dict[old_col.Get(oid)]);
+      }
+      for (size_t r = 0; r < n_delta; ++r) {
+        uint32_t dst = out.new_oid_of_delta[r];
+        if (dst == kNoOid) continue;
+        const int64_t id = snap.rows[r][c];
+        MCSORT_CHECK(id >= 0);
+        const size_t uid = static_cast<size_t>(id);
+        if (uid < dm.new_code_of_dict.size()) {
+          merged_col.Set(dst, dm.new_code_of_dict[uid]);
+        } else {
+          const size_t ovf = uid - dm.new_code_of_dict.size();
+          MCSORT_CHECK(ovf < dm.new_code_of_ovf.size());
+          merged_col.Set(dst, dm.new_code_of_ovf[ovf]);
+        }
+      }
+      out.table->AddColumnParts(
+          name, std::move(merged_col),
+          std::make_unique<StringDictionary>(
+              StringDictionary::FromSorted(std::move(dm.merged))),
+          /*domain_base=*/0);
+      continue;
+    }
+
+    // Numeric (plain code or domain-encoded): keep the old base unless a
+    // delta native sits below it — lowering the base shifts every existing
+    // code up uniformly, preserving order; widen to cover the merged range.
+    const int64_t old_base = base.domain_base(name);
+    uint64_t max_base_code = 0;
+    for (size_t oid = 0; oid < n_base; ++oid) {
+      if (out.new_oid_of_base[oid] == kNoOid) continue;
+      max_base_code = std::max<uint64_t>(max_base_code, old_col.Get(oid));
+    }
+    int64_t new_base = old_base;
+    uint64_t max_rel = max_base_code;
+    for (size_t r = 0; r < n_delta; ++r) {
+      if (out.new_oid_of_delta[r] == kNoOid) continue;
+      new_base = std::min(new_base, snap.rows[r][c]);
+    }
+    const uint64_t shift =
+        static_cast<uint64_t>(old_base) - static_cast<uint64_t>(new_base);
+    max_rel = max_base_code + shift;
+    for (size_t r = 0; r < n_delta; ++r) {
+      if (out.new_oid_of_delta[r] == kNoOid) continue;
+      const uint64_t rel = static_cast<uint64_t>(snap.rows[r][c]) -
+                           static_cast<uint64_t>(new_base);
+      max_rel = std::max(max_rel, rel);
+    }
+    const int width = std::max(1, BitsForValue(max_rel));
+    merged_col.Reset(width, n_live);
+    for (size_t oid = 0; oid < n_base; ++oid) {
+      uint32_t dst = out.new_oid_of_base[oid];
+      if (dst == kNoOid) continue;
+      merged_col.Set(dst, old_col.Get(oid) + shift);
+    }
+    for (size_t r = 0; r < n_delta; ++r) {
+      uint32_t dst = out.new_oid_of_delta[r];
+      if (dst == kNoOid) continue;
+      merged_col.Set(dst, static_cast<uint64_t>(snap.rows[r][c]) -
+                              static_cast<uint64_t>(new_base));
+    }
+    out.table->AddColumnParts(name, std::move(merged_col), nullptr, new_base);
+  }
+  return out;
+}
+
+}  // namespace delta
+}  // namespace mcsort

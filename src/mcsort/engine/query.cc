@@ -96,8 +96,14 @@ size_t QueryExecutor::EstimatePlanScratchBytes(const MassagePlan& plan,
 ExecResult QueryExecutor::Execute(const QuerySpec& spec,
                                   const ExecContext& ctx) {
   int bank_cap = 0;  // 0 = unrestricted
+  bool key_too_wide = false;  // sticky across degrade retries
   for (;;) {
     ExecResult attempt = ExecuteOnce(spec, ctx, bank_cap);
+    // A rejected spill arm (key over the 128-bit merge cap) on any attempt
+    // must survive into the final result even when a narrower re-plan
+    // succeeds — it explains why the query degraded instead of spilling.
+    key_too_wide = key_too_wide || attempt.result.spill_key_too_wide;
+    attempt.result.spill_key_too_wide = key_too_wide;
     if (attempt.status.code != ExecCode::kResourceExhausted ||
         !options_.use_massage) {
       return attempt;
@@ -287,8 +293,19 @@ ExecResult QueryExecutor::ExecuteOnce(const QuerySpec& spec,
     const size_t per_row = EstimatePlanScratchBytes(plan, 1);
     const size_t slice_rows =
         per_row > 0 ? ctx.scratch_budget_bytes() / per_row : 0;
-    bool spill = options_.spill.enabled && slice_rows > 0 && slice_rows < n &&
-                 external::CanExternalSort(inputs);
+    const bool key_fits = external::CanExternalSort(inputs);
+    bool spill =
+        options_.spill.enabled && slice_rows > 0 && slice_rows < n && key_fits;
+    if (options_.spill.enabled && slice_rows > 0 && slice_rows < n &&
+        !key_fits) {
+      // The spill arm was viable except for the key width: surface a typed
+      // kUnimplemented instead of silently degrading, so operators can see
+      // why the budget knob stopped helping on wide-key workloads.
+      result.spill_key_too_wide = true;
+      out.detail = Status::Unimplemented(
+          "composite sort key is " + std::to_string(total_width) +
+          " bits; external merge caps at 128 — degrade-by-narrowing only");
+    }
     if (spill && options_.use_massage) {
       int widest = 0;
       for (const Round& round : plan.rounds()) {

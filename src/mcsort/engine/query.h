@@ -200,6 +200,12 @@ struct QueryResult {
   uint64_t spill_bytes = 0;
   double spill_run_gen_seconds = 0;
   double spill_merge_seconds = 0;
+  // True when the over-budget router wanted to spill but the composite
+  // sort key exceeds the external merge's 128-bit key cap — the plan fell
+  // back to degrade-by-narrowing (or failed at the 16-bit floor). Typed
+  // rather than silent: ExecResult::detail carries kUnimplemented with the
+  // offending width, and the service bumps exec.spill.key_too_wide.
+  bool spill_key_too_wide = false;
 
   // Result payloads (for verification and examples).
   std::vector<std::vector<int64_t>> aggregate_values;  // per aggregate spec

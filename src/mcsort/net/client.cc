@@ -480,6 +480,39 @@ TableOpResult McsortClient::LoadTable(const std::string& table) {
   return TableOp(FrameType::kLoadTable, table);
 }
 
+DmlResult McsortClient::ExecuteDml(const delta::DmlCommand& cmd) {
+  DmlResult result;
+  if (fd_ < 0) return result;
+  const uint64_t id = NextRequestId();
+  if (!SendFrame(FrameType::kDml, id, EncodeDml(cmd))) {
+    FailTransport();
+    return result;
+  }
+  Frame frame;
+  if (!ReadReply(id, &frame)) {
+    FailTransport();
+    return result;
+  }
+  if (frame.type() == FrameType::kError) {
+    ErrorInfo info;
+    if (!DecodeError(frame.payload, &info)) {
+      FailTransport();
+      return result;
+    }
+    result.transport_ok = true;
+    result.error = info.code;
+    result.error_detail = info.detail;
+    return result;
+  }
+  if (frame.type() != FrameType::kDmlReply ||
+      !DecodeDmlReply(frame.payload, &result.reply)) {
+    FailTransport();
+    return result;
+  }
+  result.transport_ok = true;
+  return result;
+}
+
 bool McsortClient::GetSchema(SchemaReply* schema) {
   if (fd_ < 0) return false;
   const uint64_t id = NextRequestId();

@@ -122,6 +122,22 @@ struct TableOpResult {
   }
 };
 
+// Outcome of one remote DML command. `reply` is only meaningful when the
+// server answered with a DML_REPLY (transport_ok && error == kNone);
+// op-level rejections (unknown table, bad column list) come back as typed
+// ERROR frames and land in `error`. Row-level INSERT rejections ride in
+// reply.row_errors with the command still partially applied.
+struct DmlResult {
+  bool transport_ok = false;
+  ErrorCode error = ErrorCode::kNone;  // kNone when the server replied
+  std::string error_detail;
+  DmlReply reply;
+
+  bool ok() const {
+    return transport_ok && error == ErrorCode::kNone && reply.ok;
+  }
+};
+
 class McsortClient {
  public:
   explicit McsortClient(const ClientOptions& options);
@@ -175,6 +191,10 @@ class McsortClient {
   // wall time and the table's row count.
   TableOpResult SaveTable(const std::string& table = std::string());
   TableOpResult LoadTable(const std::string& table);
+
+  // Applies one DML command (INSERT / DELETE / UPDATE) remotely. Blocking;
+  // the reply carries per-row errors and the table's post-command epoch.
+  DmlResult ExecuteDml(const delta::DmlCommand& cmd);
 
  private:
   uint64_t NextRequestId() {

@@ -219,6 +219,93 @@ inline std::vector<FuzzCase> BuildFuzzCorpus() {
   add("cancel_unknown_id", true, SealFrame(FrameType::kCancel, 0, 999, ""),
       FuzzExpect::kNoReply);
 
+  // --- DML malformations (protocol v3 write path) --------------------------
+  {
+    delta::DmlCommand cmd;  // well-formed INSERT, but no handshake yet
+    cmd.columns = {"a", "b", "c", "m"};
+    cmd.rows.push_back({delta::DmlValue::Int(1), delta::DmlValue::Int(2),
+                        delta::DmlValue::Int(3), delta::DmlValue::Int(4)});
+    add("dml_before_hello", false,
+        SealFrame(FrameType::kDml, 0, 24, EncodeDml(cmd)), FuzzExpect::kError,
+        ErrorCode::kProtocolViolation);
+  }
+  add("dml_empty_payload", true, SealFrame(FrameType::kDml, 0, 25, ""),
+      FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  {
+    std::string payload;
+    WireWriter w(&payload);
+    w.U8(77);  // not a DmlOp
+    w.Str("");
+    add("dml_bad_op", true, SealFrame(FrameType::kDml, 0, 26, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    delta::DmlCommand cmd;  // 4-column 2-row INSERT, cut mid row payload
+    cmd.columns = {"a", "b", "c", "m"};
+    cmd.rows.assign(2, {delta::DmlValue::Int(1), delta::DmlValue::Int(2),
+                        delta::DmlValue::Int(3), delta::DmlValue::Int(4)});
+    std::string payload = EncodeDml(cmd);
+    payload.resize(payload.size() - 10);
+    add("dml_truncated_rows", true,
+        SealFrame(FrameType::kDml, 0, 27, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    // INSERT claiming 4 billion rows over a near-empty payload — the row
+    // count sanity cap must reject before any allocation.
+    std::string payload;
+    WireWriter w(&payload);
+    w.U8(1);  // kInsert
+    w.Str("");
+    w.U16(1);
+    w.Str("a");
+    w.U32(0xFFFFFFFFu);
+    add("dml_absurd_row_count", true,
+        SealFrame(FrameType::kDml, 0, 28, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    std::string payload;
+    WireWriter w(&payload);
+    w.U8(1);  // kInsert
+    w.Str("");
+    w.U16(1);
+    w.Str("a");
+    w.U32(1);
+    w.U8(9);  // not a value tag
+    w.I64(0);
+    add("dml_bad_value_tag", true,
+        SealFrame(FrameType::kDml, 0, 29, std::move(payload)),
+        FuzzExpect::kError, ErrorCode::kMalformedQuery);
+  }
+  {
+    delta::DmlCommand cmd;  // well-formed INSERT with the payload CRC flipped
+    cmd.columns = {"a", "b", "c", "m"};
+    cmd.rows.push_back({delta::DmlValue::Int(1), delta::DmlValue::Int(2),
+                        delta::DmlValue::Int(3), delta::DmlValue::Int(4)});
+    std::string f = SealFrame(FrameType::kDml, 0, 30, EncodeDml(cmd));
+    f.back() ^= 0x5A;  // corrupt the payload, not the header
+    add("dml_crc_flip", true, std::move(f), FuzzExpect::kError,
+        ErrorCode::kCrcMismatch);
+  }
+  {
+    delta::DmlCommand cmd;
+    cmd.table = "no_such_table";
+    cmd.columns = {"a"};
+    cmd.rows.push_back({delta::DmlValue::Int(1)});
+    add("dml_unknown_table", true,
+        SealFrame(FrameType::kDml, 0, 31, EncodeDml(cmd)), FuzzExpect::kError,
+        ErrorCode::kUnknownTable);
+  }
+  {
+    delta::DmlCommand cmd;  // decodes fine, but names only 2 of 4 columns
+    cmd.columns = {"a", "b"};
+    cmd.rows.push_back({delta::DmlValue::Int(1), delta::DmlValue::Int(2)});
+    add("dml_bad_column_count", true,
+        SealFrame(FrameType::kDml, 0, 32, EncodeDml(cmd)), FuzzExpect::kError,
+        ErrorCode::kBadQuery);
+  }
+
   return cases;
 }
 

@@ -230,6 +230,8 @@ std::string EncodeSchemaReply(const SchemaReply& reply) {
   for (const TableSchema& table : reply.tables) {
     w.Str(table.name);
     w.U64(table.row_count);
+    w.U64(table.epoch);
+    w.U64(table.delta_rows);
     w.U16(static_cast<uint16_t>(table.columns.size()));
     for (const ColumnInfo& c : table.columns) {
       w.Str(c.name);
@@ -250,6 +252,8 @@ bool DecodeSchemaReply(const std::string& payload, SchemaReply* reply) {
   for (TableSchema& table : reply->tables) {
     table.name = r.Str();
     table.row_count = r.U64();
+    table.epoch = r.U64();
+    table.delta_rows = r.U64();
     const uint16_t n_cols = r.U16();
     if (!ValidCount(r, n_cols, 2 + 3 + 8)) return false;
     table.columns.resize(n_cols);
@@ -262,6 +266,158 @@ bool DecodeSchemaReply(const std::string& payload, SchemaReply* reply) {
     }
   }
   return r.ok();
+}
+
+// --------------------------------------------------------------------------
+// DML
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Rows per DML frame. The ceiling keeps one decoded command's memory
+// proportional to its payload; bulk loads batch into multiple frames.
+constexpr uint32_t kMaxDmlRows = 4096;
+
+constexpr uint8_t kDmlTagInt = 0;
+constexpr uint8_t kDmlTagString = 1;
+
+void WriteDmlValue(WireWriter* w, const delta::DmlValue& value) {
+  if (value.is_string) {
+    w->U8(kDmlTagString);
+    w->Str(value.str);
+  } else {
+    w->U8(kDmlTagInt);
+    w->I64(value.i64);
+  }
+}
+
+bool ReadDmlValue(WireReader* r, delta::DmlValue* value) {
+  const uint8_t tag = r->U8();
+  if (tag == kDmlTagInt) {
+    value->is_string = false;
+    value->i64 = r->I64();
+  } else if (tag == kDmlTagString) {
+    value->is_string = true;
+    value->str = r->Str();
+  } else {
+    return false;
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+std::string EncodeDml(const delta::DmlCommand& cmd) {
+  std::string out;
+  WireWriter w(&out);
+  w.U8(static_cast<uint8_t>(cmd.op));
+  w.Str(cmd.table);
+  w.U16(static_cast<uint16_t>(cmd.columns.size()));
+  for (const std::string& c : cmd.columns) w.Str(c);
+  w.U32(static_cast<uint32_t>(cmd.rows.size()));
+  for (const std::vector<delta::DmlValue>& row : cmd.rows) {
+    // Arity is structural on the wire: exactly one value per named column.
+    for (size_t k = 0; k < cmd.columns.size(); ++k) {
+      WriteDmlValue(&w, k < row.size() ? row[k]
+                                       : delta::DmlValue::Int(0));
+    }
+  }
+  w.U8(cmd.has_predicate ? 1 : 0);
+  if (cmd.has_predicate) {
+    w.Str(cmd.predicate.column);
+    w.U8(static_cast<uint8_t>(cmd.predicate.op));
+    WriteDmlValue(&w, cmd.predicate.value);
+  }
+  return out;
+}
+
+bool DecodeDml(const std::string& payload, delta::DmlCommand* cmd) {
+  WireReader r(payload);
+  const uint8_t op = r.U8();
+  if (op < static_cast<uint8_t>(delta::DmlOp::kInsert) ||
+      op > static_cast<uint8_t>(delta::DmlOp::kUpdate)) {
+    return false;
+  }
+  cmd->op = static_cast<delta::DmlOp>(op);
+  cmd->table = r.Str();
+
+  const uint16_t n_columns = r.U16();
+  if (!ValidCount(r, n_columns, 2)) return false;
+  cmd->columns.resize(n_columns);
+  for (std::string& c : cmd->columns) c = r.Str();
+
+  const uint32_t n_rows = r.U32();
+  // Each value is at least a tag byte; an absurd count over a short
+  // payload is rejected before any allocation happens.
+  const size_t min_row_bytes = n_columns > 0 ? size_t{n_columns} : 1;
+  if (n_rows > kMaxDmlRows || n_rows * min_row_bytes > r.remaining()) {
+    return false;
+  }
+  cmd->rows.resize(n_rows);
+  for (std::vector<delta::DmlValue>& row : cmd->rows) {
+    row.resize(n_columns);
+    for (delta::DmlValue& value : row) {
+      if (!ReadDmlValue(&r, &value)) return false;
+    }
+  }
+
+  cmd->has_predicate = r.U8() != 0;
+  if (cmd->has_predicate) {
+    cmd->predicate.column = r.Str();
+    const uint8_t pred_op = r.U8();
+    if (pred_op > static_cast<uint8_t>(delta::DmlCompareOp::kGe)) return false;
+    cmd->predicate.op = static_cast<delta::DmlCompareOp>(pred_op);
+    if (!ReadDmlValue(&r, &cmd->predicate.value)) return false;
+  }
+  // Trailing garbage after a well-formed command is a framing lie: reject.
+  return r.AtEnd();
+}
+
+std::string EncodeDmlReply(const DmlReply& reply) {
+  std::string out;
+  WireWriter w(&out);
+  w.U8(reply.ok ? 1 : 0);
+  w.U8(reply.status_code);
+  w.Str(reply.detail);
+  w.U64(reply.rows_affected);
+  w.U64(reply.rows_rejected);
+  w.U64(reply.delta_rows);
+  w.U64(reply.epoch);
+  const size_t n_errors = std::min<size_t>(reply.row_errors.size(),
+                                           kMaxClauseCount);
+  w.U16(static_cast<uint16_t>(n_errors));
+  for (size_t i = 0; i < n_errors; ++i) {
+    const delta::DmlRowError& e = reply.row_errors[i];
+    w.U32(e.row);
+    w.U8(static_cast<uint8_t>(e.code));
+    w.Str(e.detail);
+  }
+  return out;
+}
+
+bool DecodeDmlReply(const std::string& payload, DmlReply* reply) {
+  WireReader r(payload);
+  reply->ok = r.U8() != 0;
+  reply->status_code = r.U8();
+  if (reply->status_code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return false;
+  }
+  reply->detail = r.Str();
+  reply->rows_affected = r.U64();
+  reply->rows_rejected = r.U64();
+  reply->delta_rows = r.U64();
+  reply->epoch = r.U64();
+  const uint16_t n_errors = r.U16();
+  if (!ValidCount(r, n_errors, 4 + 1 + 2)) return false;
+  reply->row_errors.resize(n_errors);
+  for (delta::DmlRowError& e : reply->row_errors) {
+    e.row = r.U32();
+    const uint8_t code = r.U8();
+    if (code > static_cast<uint8_t>(StatusCode::kInternal)) return false;
+    e.code = static_cast<StatusCode>(code);
+    e.detail = r.Str();
+  }
+  return r.AtEnd();
 }
 
 // --------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "mcsort/delta/dml.h"
 #include "mcsort/engine/query.h"
 #include "mcsort/net/wire.h"
 #include "mcsort/storage/table.h"
@@ -97,7 +98,9 @@ struct ColumnInfo {
 
 struct TableSchema {
   std::string name;
-  uint64_t row_count = 0;
+  uint64_t row_count = 0;   // live rows (base minus tombstones plus delta)
+  uint64_t epoch = 0;       // snapshot version; bumps on compaction/load
+  uint64_t delta_rows = 0;  // live delta rows awaiting compaction
   std::vector<ColumnInfo> columns;
 };
 
@@ -138,6 +141,35 @@ std::string EncodeTableOp(const TableOpRequest& request);
 bool DecodeTableOp(const std::string& payload, TableOpRequest* request);
 std::string EncodeTableOpReply(const TableOpReply& reply);
 bool DecodeTableOpReply(const std::string& payload, TableOpReply* reply);
+
+// --------------------------------------------------------------------------
+// DML (protocol v3)
+// --------------------------------------------------------------------------
+
+// kDml payload: one delta::DmlCommand in native-value space (tagged int64 /
+// string values; encoding against the table's dictionary happens on the
+// server). Row arity is structural — every row carries exactly one value
+// per named column — so a truncated row fails the decode, not the apply.
+std::string EncodeDml(const delta::DmlCommand& cmd);
+bool DecodeDml(const std::string& payload, delta::DmlCommand* cmd);
+
+// kDmlReply payload: the typed outcome. `status_code` is the op-level
+// mcsort::StatusCode as a u8 (0 = ok); row-level INSERT rejects travel in
+// `row_errors` (truncated to the clause cap — `rows_rejected` keeps the
+// true count).
+struct DmlReply {
+  bool ok = false;
+  uint8_t status_code = 0;
+  std::string detail;
+  uint64_t rows_affected = 0;
+  uint64_t rows_rejected = 0;
+  uint64_t delta_rows = 0;
+  uint64_t epoch = 0;
+  std::vector<delta::DmlRowError> row_errors;
+};
+
+std::string EncodeDmlReply(const DmlReply& reply);
+bool DecodeDmlReply(const std::string& payload, DmlReply* reply);
 
 // --------------------------------------------------------------------------
 // RESULT stream

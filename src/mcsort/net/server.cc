@@ -64,9 +64,10 @@ struct McsortServer::Conn {
 };
 
 struct McsortServer::Job {
-  // What the worker should do. Table ops (snapshot save/load) run on the
-  // same worker pool as queries so the event loop never touches a disk.
-  enum class Kind { kQuery, kSaveTable, kLoadTable };
+  // What the worker should do. Table ops (snapshot save/load) and DML run
+  // on the same worker pool as queries so the event loop never touches a
+  // disk or a version mutex.
+  enum class Kind { kQuery, kSaveTable, kLoadTable, kDml };
 
   Kind kind = Kind::kQuery;
   std::shared_ptr<Conn> conn;
@@ -76,6 +77,7 @@ struct McsortServer::Job {
   // catalog table materializes from disk on first use.
   std::string table_name;
   QuerySpec spec;
+  delta::DmlCommand dml;
   bool want_merge_keys = false;
   bool has_deadline = false;
   Clock::time_point deadline{};
@@ -643,7 +645,19 @@ std::string McsortServer::SchemaText() {
   SchemaReply reply;
   for (const std::string& name : service_->ListTables()) {
     const Table* table = service_->FindTable(name);
-    if (table != nullptr) reply.tables.push_back(SchemaOf(name, *table));
+    if (table == nullptr) continue;
+    TableSchema schema = SchemaOf(name, *table);
+    // Write-path introspection: a written table reports its live row
+    // count (base minus tombstones plus delta), its epoch, and how many
+    // delta rows await compaction — the signal dml_smoke polls to watch
+    // compaction progress.
+    const QueryService::DeltaInfo info = service_->GetDeltaInfo(name);
+    if (info.has_version) {
+      schema.row_count = info.live_rows;
+      schema.epoch = info.epoch;
+      schema.delta_rows = info.delta_rows;
+    }
+    reply.tables.push_back(std::move(schema));
   }
   return EncodeSchemaReply(reply);
 }
@@ -732,6 +746,9 @@ void McsortServer::DispatchFrame(const std::shared_ptr<Conn>& conn,
     case FrameType::kSaveTable:
     case FrameType::kLoadTable:
       HandleTableOpFrame(conn, frame);
+      return;
+    case FrameType::kDml:
+      HandleDmlFrame(conn, frame);
       return;
     default:
       SendError(conn, id, ErrorCode::kUnknownType, "unhandled frame type");
@@ -836,6 +853,46 @@ void McsortServer::HandleTableOpFrame(const std::shared_ptr<Conn>& conn,
   EnqueueJob(std::move(job));
 }
 
+void McsortServer::HandleDmlFrame(const std::shared_ptr<Conn>& conn,
+                                  const Frame& frame) {
+  const uint64_t id = frame.header.request_id;
+  if (!conn->hello_done) {
+    SendError(conn, id, ErrorCode::kProtocolViolation, "DML before HELLO");
+    return;
+  }
+  if (draining_) {
+    SendError(conn, id, ErrorCode::kShuttingDown, "server draining");
+    return;
+  }
+  bool already_running;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    already_running = conn->query_running;
+  }
+  if (already_running) {
+    counters_->busy_rejects->Increment();
+    SendError(conn, id, ErrorCode::kBusy, "a request is already in flight");
+    return;
+  }
+  if (inflight_.load(std::memory_order_relaxed) >=
+      options_.max_inflight_queries) {
+    SendError(conn, id, ErrorCode::kBusy, "server at max in-flight requests");
+    counters_->busy_rejects->Increment();
+    return;
+  }
+  Job job;
+  job.kind = Job::Kind::kDml;
+  if (!DecodeDml(frame.payload, &job.dml)) {
+    SendError(conn, id, ErrorCode::kMalformedQuery,
+              "DML payload did not decode");
+    return;
+  }
+  job.conn = conn;
+  job.request_id = id;
+  job.table_name = job.dml.table;
+  EnqueueJob(std::move(job));
+}
+
 void McsortServer::EnqueueJob(Job job) {
   {
     std::lock_guard<std::mutex> lock(job.conn->out_mu);
@@ -883,6 +940,36 @@ void McsortServer::WorkerThread() {
     }
 
     std::vector<std::string> frames;
+    if (job.kind == Job::Kind::kDml) {
+      const delta::DmlOutcome outcome = service_->ApplyDml(job.dml);
+      service_->metrics().counter("net.dml")->Increment();
+      if (outcome.status.code == StatusCode::kNotFound) {
+        frames.push_back(
+            SealFrame(FrameType::kError, 0, job.request_id,
+                      EncodeError({ErrorCode::kUnknownTable,
+                                   outcome.status.detail})));
+      } else if (!outcome.status.ok()) {
+        // Op-level rejection (bad column list, bad predicate): nothing was
+        // applied; answer a typed ERROR like an invalid query.
+        frames.push_back(SealFrame(
+            FrameType::kError, 0, job.request_id,
+            EncodeError({ErrorCode::kBadQuery, outcome.status.detail})));
+      } else {
+        DmlReply reply;
+        reply.ok = true;
+        reply.status_code = static_cast<uint8_t>(outcome.status.code);
+        reply.detail = outcome.status.detail;
+        reply.rows_affected = outcome.rows_affected;
+        reply.rows_rejected = outcome.rows_rejected;
+        reply.delta_rows = outcome.delta_rows;
+        reply.epoch = outcome.epoch;
+        reply.row_errors = outcome.row_errors;
+        frames.push_back(SealFrame(FrameType::kDmlReply, 0, job.request_id,
+                                   EncodeDmlReply(reply)));
+      }
+      FinishJob(job, std::move(frames));
+      continue;
+    }
     if (job.kind != Job::Kind::kQuery) {
       Timer timer;
       const bool is_save = job.kind == Job::Kind::kSaveTable;

@@ -141,6 +141,7 @@ class McsortServer {
                         const Frame& frame);
   void HandleTableOpFrame(const std::shared_ptr<Conn>& conn,
                           const Frame& frame);
+  void HandleDmlFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
   // Marks the connection busy and hands the job to the executor workers.
   void EnqueueJob(Job job);
   void SweepTimeouts();

@@ -42,6 +42,7 @@ bool IsClientFrameType(uint8_t type) {
     case FrameType::kGoodbye:
     case FrameType::kSaveTable:
     case FrameType::kLoadTable:
+    case FrameType::kDml:
       return true;
     default:
       return false;

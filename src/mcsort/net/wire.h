@@ -41,12 +41,15 @@ constexpr uint32_t kMagic = 0x3153434Du;  // "MCS1" as a little-endian u32
 //      echoes the server's minimum accepted version), QUERY carries
 //      fixed_column_order / merge_fan_in / want_merge_keys, RESULT grows
 //      the merge-key / group-size / global-oid sections (ids 6-9).
-// Version 2 payloads are not a superset v1 peers can skip (QUERY decoding
-// is strict-length), so the minimum accepted version is also 2; peers
-// outside [kMinProtocolVersion, kProtocolVersion] get a typed
+//   3  write path: DML/DML_REPLY frames (INSERT/UPDATE/DELETE with typed
+//      per-row errors), SCHEMA grows per-table epoch + delta_rows.
+// Each revision's payloads are not a superset older peers can skip
+// (QUERY/SCHEMA decoding is strict-length), so the minimum accepted
+// version tracks the current one; peers outside
+// [kMinProtocolVersion, kProtocolVersion] get a typed
 // kUnsupportedVersion rejection at HELLO.
-constexpr uint8_t kProtocolVersion = 2;
-constexpr uint8_t kMinProtocolVersion = 2;
+constexpr uint8_t kProtocolVersion = 3;
+constexpr uint8_t kMinProtocolVersion = 3;
 
 // Capability bits negotiated in HELLO (a peer must tolerate unknown bits:
 // they advertise features, they never change existing encodings).
@@ -74,6 +77,8 @@ enum class FrameType : uint8_t {
   kSaveTable = 14,      // client -> server: snapshot a table to the catalog
   kLoadTable = 15,      // client -> server: load a table from the catalog
   kTableOpReply = 16,   // server -> client: SAVE/LOAD outcome + timing
+  kDml = 17,            // client -> server: INSERT/UPDATE/DELETE command
+  kDmlReply = 18,       // server -> client: DML outcome + per-row errors
 };
 
 // True for the types a client may legally send to the server.

@@ -143,21 +143,31 @@ void QueryService::SetCatalog(const CatalogOptions& options) {
 std::shared_ptr<const Table> QueryService::FindTableShared(
     const std::string& name) {
   std::string resolved;
+  std::shared_ptr<delta::TableVersion> version;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
     Binding* binding = FindBindingLocked(name);
     if (binding == nullptr) return nullptr;
     binding->last_use = ++use_clock_;
-    if (binding->owned != nullptr) return binding->owned;
-    if (binding->borrowed != nullptr) {
-      // Borrowed tables are caller-managed; alias them with a no-op
-      // deleter so every lookup path returns the same handle type.
-      return std::shared_ptr<const Table>(binding->borrowed,
-                                          [](const Table*) {});
+    // A written table resolves through its version: Snapshot() merges the
+    // live delta (outside tables_mu_ — the build can be heavy).
+    if (binding->version != nullptr) {
+      version = binding->version;
+    } else if (binding->owned != nullptr) {
+      return binding->owned;
     }
-    if (!binding->on_disk || !has_catalog_) return nullptr;
-    resolved = binding->name;
+    if (version == nullptr) {
+      if (binding->borrowed != nullptr) {
+        // Borrowed tables are caller-managed; alias them with a no-op
+        // deleter so every lookup path returns the same handle type.
+        return std::shared_ptr<const Table>(binding->borrowed,
+                                            [](const Table*) {});
+      }
+      if (!binding->on_disk || !has_catalog_) return nullptr;
+      resolved = binding->name;
+    }
   }
+  if (version != nullptr) return version->Snapshot();
   // Unloaded on-disk table: load outside tables_mu_ (concurrent resident
   // lookups keep flowing), serialized by load_mu_ so a thundering herd on
   // one table does a single load.
@@ -199,6 +209,7 @@ std::string QueryService::DefaultTableName() const {
 Status QueryService::SaveTable(const std::string& name) {
   std::string dir;
   std::shared_ptr<const Table> table;
+  std::shared_ptr<delta::TableVersion> version;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
     if (!has_catalog_) {
@@ -212,12 +223,16 @@ Status QueryService::SaveTable(const std::string& name) {
       return Status::InvalidArgument("bad table name");
     }
     dir = catalog_.dir + "/" + binding->name;
+    version = binding->version;
     table = binding->owned != nullptr
                 ? binding->owned
                 : std::shared_ptr<const Table>(binding->borrowed,
                                                [](const Table*) {});
   }
-  // Snapshot outside the lock: saves are long and tables are immutable.
+  // Snapshot outside the lock: saves are long and tables are immutable. A
+  // written table saves its merged image, so the snapshot never loses
+  // un-compacted rows.
+  if (version != nullptr) table = version->Snapshot();
   const IoStatus st = SaveTableSnapshot(*table, dir);
   if (st.ok()) {
     std::lock_guard<std::mutex> lock(tables_mu_);
@@ -254,6 +269,11 @@ Status QueryService::LoadTable(const std::string& name) {
   binding.owned = std::move(loaded);
   binding.on_disk = true;
   binding.last_use = ++use_clock_;
+  // A written table adopts the loaded snapshot as its new base; the delta
+  // is dropped — the on-disk image supersedes it (LOAD is a restore).
+  if (binding.version != nullptr) {
+    binding.version->ReplaceBase(binding.owned, /*clear_delta=*/true);
+  }
   metrics_.counter("catalog.loads")->Increment();
   EvictOverBudgetLocked();
   return Status::Ok();
@@ -276,6 +296,9 @@ void QueryService::EvictOverBudgetLocked() {
     Binding* victim = nullptr;
     for (auto& binding : tables_) {
       if (binding.owned == nullptr || !binding.on_disk) continue;
+      // A written table is never evicted: its delta references the base's
+      // oids, and a reload would silently fork the version's base.
+      if (binding.version != nullptr) continue;
       if (binding.owned.use_count() > 1) continue;
       if (victim == nullptr || binding.last_use < victim->last_use) {
         victim = &binding;
@@ -285,6 +308,153 @@ void QueryService::EvictOverBudgetLocked() {
     victim->owned.reset();
     metrics_.counter("catalog.evictions")->Increment();
   }
+}
+
+std::shared_ptr<delta::TableVersion> QueryService::GetOrCreateVersion(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding != nullptr && binding->version != nullptr) {
+      return binding->version;
+    }
+  }
+  // Make the table resident (loads an on-disk snapshot if needed), then
+  // hang the version off the binding.
+  if (FindTableShared(name) == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  Binding* binding = FindBindingLocked(name);
+  if (binding == nullptr) return nullptr;
+  if (binding->version != nullptr) return binding->version;
+  std::shared_ptr<const Table> base =
+      binding->owned != nullptr
+          ? binding->owned
+          : (binding->borrowed != nullptr
+                 ? std::shared_ptr<const Table>(binding->borrowed,
+                                                [](const Table*) {})
+                 : nullptr);
+  if (base == nullptr) return nullptr;
+  binding->version = std::make_shared<delta::TableVersion>(std::move(base));
+  metrics_.counter("delta.versions_created")->Increment();
+  return binding->version;
+}
+
+delta::DmlOutcome QueryService::ApplyDml(const delta::DmlCommand& cmd) {
+  delta::DmlOutcome out;
+  std::shared_ptr<delta::TableVersion> version = GetOrCreateVersion(cmd.table);
+  if (version == nullptr) {
+    out.status = Status::NotFound("unknown table '" + cmd.table + "'");
+    return out;
+  }
+  out = version->Apply(cmd);
+  const std::string op = delta::DmlOpName(cmd.op);
+  metrics_.counter("delta." + op + ".commands")->Increment();
+  metrics_.counter("delta." + op + ".rows")->Add(out.rows_affected);
+  if (out.rows_rejected > 0) {
+    metrics_.counter("delta.rows_rejected")->Add(out.rows_rejected);
+  }
+  return out;
+}
+
+bool QueryService::CompactTable(const std::string& name) {
+  std::shared_ptr<delta::TableVersion> version;
+  std::string dir;
+  bool save = false;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding == nullptr || binding->version == nullptr) return false;
+    version = binding->version;
+    if (has_catalog_ && binding->name.find('/') == std::string::npos) {
+      dir = catalog_.dir + "/" + binding->name;
+      save = true;
+    }
+  }
+  delta::TableVersion::CompactionJob job = version->BeginCompaction();
+  if (job.snap.empty()) return false;  // nothing to fold in
+
+  // Heavy phase, no locks held: re-encode, then persist through the same
+  // tmp+rename commit point snapshots use — a crash mid-save leaves the
+  // previous snapshot intact and only *.tmp residue, which startup sweeps.
+  Timer timer;
+  delta::MergedTable merged = delta::BuildMergedTable(*job.base, job.snap);
+  const uint64_t merged_rows = merged.table->row_count();
+  if (save) {
+    const IoStatus st = SaveTableSnapshot(*merged.table, dir);
+    if (!st.ok()) {
+      // Publish in memory anyway: durability degraded, not correctness.
+      metrics_.counter("compaction.save_failures")->Increment();
+      save = false;
+    }
+  }
+  if (!version->Publish(job, std::move(merged))) {
+    metrics_.counter("compaction.aborted")->Increment();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding != nullptr && binding->version == version) {
+      binding->owned = version->base();
+      binding->borrowed = nullptr;
+      if (save) binding->on_disk = true;
+    }
+  }
+  metrics_.counter("compaction.published")->Increment();
+  metrics_.counter("compaction.rows_folded")
+      ->Add(job.snap.rows.size() + job.snap.base_tombstones.size());
+  metrics_.counter("compaction.base_rows")->Add(merged_rows);
+  metrics_.histogram("compaction.seconds")->Record(timer.Seconds());
+  return true;
+}
+
+void QueryService::EnableCompaction(const delta::CompactionOptions& options) {
+  if (compactor_ != nullptr) return;
+  delta::Compactor::Hooks hooks;
+  const uint64_t min_pending = std::max<uint64_t>(1, options.min_delta_rows);
+  hooks.list_tables = [this, min_pending] {
+    std::vector<std::string> due;
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (const auto& binding : tables_) {
+      if (binding.version != nullptr &&
+          binding.version->pending_mutations() >= min_pending) {
+        due.push_back(binding.name);
+      }
+    }
+    return due;
+  };
+  hooks.compact = [this](const std::string& name) {
+    return CompactTable(name);
+  };
+  compactor_ =
+      std::make_unique<delta::Compactor>(options, std::move(hooks));
+  compactor_->Start();
+}
+
+void QueryService::StopCompactor() {
+  if (compactor_ != nullptr) compactor_->Stop();
+}
+
+QueryService::DeltaInfo QueryService::GetDeltaInfo(const std::string& name) {
+  std::shared_ptr<delta::TableVersion> version;
+  const Table* resident = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    Binding* binding = FindBindingLocked(name);
+    if (binding == nullptr) return {};
+    version = binding->version;
+    resident = binding->resident();
+  }
+  DeltaInfo info;
+  if (version != nullptr) {
+    info.has_version = true;
+    info.epoch = version->epoch();
+    info.delta_rows = version->delta_rows();
+    info.live_rows = version->live_rows();
+  } else if (resident != nullptr) {
+    info.live_rows = resident->row_count();
+  }
+  return info;
 }
 
 ExecResult QueryService::ExecuteOn(QuerySession* session,
@@ -355,6 +525,9 @@ ExecResult QueryService::ExecuteOn(QuerySession* session,
   // / exec.resource_exhausted, plus degradations absorbed along the way.
   metrics_.counter(std::string("exec.") + out.status.name())->Increment();
   if (result.degraded) metrics_.counter("exec.degraded")->Increment();
+  if (result.spill_key_too_wide) {
+    metrics_.counter("exec.spill.key_too_wide")->Increment();
+  }
   if (result.spilled) {
     metrics_.counter("exec.spill.queries")->Increment();
     metrics_.counter("exec.spill.runs")->Add(result.spill_runs);

@@ -29,6 +29,9 @@
 
 #include "mcsort/common/thread_pool.h"
 #include "mcsort/cost/params.h"
+#include "mcsort/delta/compactor.h"
+#include "mcsort/delta/dml.h"
+#include "mcsort/delta/table_version.h"
 #include "mcsort/engine/query.h"
 #include "mcsort/io/io_status.h"
 #include "mcsort/service/admission.h"
@@ -165,6 +168,35 @@ class QueryService {
   Status SaveTable(const std::string& name);
   Status LoadTable(const std::string& name);
 
+  // --- write path (delta/) ------------------------------------------------
+  // Applies one DML command against the named table's TableVersion
+  // (created on first write; an unloaded on-disk table is loaded first).
+  // Queries observe the write on their next FindTableShared: the binding
+  // resolves through TableVersion::Snapshot(), which merges base + delta.
+  delta::DmlOutcome ApplyDml(const delta::DmlCommand& cmd);
+
+  // Compacts one table: snapshot the delta, re-encode base+delta into a
+  // fresh merged table, persist it through the catalog's tmp+rename commit
+  // point (when a catalog is attached), and publish the new epoch. Readers
+  // pinned to the old epoch keep their shared_ptr. Returns true when a new
+  // epoch was published (false: no version / empty delta / lost race).
+  bool CompactTable(const std::string& name);
+
+  // Starts the background compactor sweeping every written table whose
+  // pending mutation count reaches options.min_delta_rows. Stopped
+  // automatically on destruction (or explicitly via StopCompactor).
+  void EnableCompaction(const delta::CompactionOptions& options);
+  void StopCompactor();
+
+  // Per-table write-path introspection for SCHEMA replies.
+  struct DeltaInfo {
+    uint64_t epoch = 0;
+    uint64_t delta_rows = 0;  // live delta rows awaiting compaction
+    uint64_t live_rows = 0;   // base live + delta live
+    bool has_version = false;
+  };
+  DeltaInfo GetDeltaInfo(const std::string& name);
+
   MetricsRegistry& metrics() { return metrics_; }
   PlanCache& plan_cache() { return plan_cache_; }
   AdmissionController& admission() { return admission_; }
@@ -187,6 +219,10 @@ class QueryService {
     std::string name;
     const Table* borrowed = nullptr;
     std::shared_ptr<const Table> owned;
+    // Created on first write: from then on the binding's queryable image
+    // is version->Snapshot() and `owned` tracks the version's base (which
+    // also makes the binding unevictable — the delta references its oids).
+    std::shared_ptr<delta::TableVersion> version;
     bool on_disk = false;
     uint64_t last_use = 0;
 
@@ -197,6 +233,10 @@ class QueryService {
 
   Binding* FindBindingLocked(const std::string& name);
   Binding& UpsertBindingLocked(const std::string& name);
+  // The named table's TableVersion, creating it from the resident table on
+  // first use (loading an on-disk table if needed); nullptr when unknown.
+  std::shared_ptr<delta::TableVersion> GetOrCreateVersion(
+      const std::string& name);
   // Drops least-recently-used evictable tables until under budget.
   void EvictOverBudgetLocked();
   uint64_t ResidentOwnedBytesLocked() const;
@@ -217,6 +257,9 @@ class QueryService {
   // one load; never held together with tables_mu_ around file IO, so
   // resident lookups stay fast while a load is in flight.
   std::mutex load_mu_;
+  // Last member: its destructor joins the sweep thread before anything the
+  // hooks close over goes away.
+  std::unique_ptr<delta::Compactor> compactor_;
 };
 
 }  // namespace mcsort

@@ -62,6 +62,21 @@ int main() {
                 env.mmap_snapshots ? "mmap" : "buffered");
   }
 
+  // Background compaction (MCSORT_COMPACT=1): periodically folds each
+  // table's delta store into a fresh encoded base, persisting the merged
+  // snapshot when a catalog is attached. Off by default — the write path
+  // works without it, queries just pay the merge-at-scan copy.
+  if (env.compaction_enabled) {
+    delta::CompactionOptions compaction;
+    compaction.enabled = true;
+    compaction.interval_ms = env.compaction_interval_ms;
+    compaction.min_delta_rows = env.compaction_min_rows;
+    service.EnableCompaction(compaction);
+    std::printf("compaction: every %llu ms, min %llu pending rows\n",
+                static_cast<unsigned long long>(compaction.interval_ms),
+                static_cast<unsigned long long>(compaction.min_delta_rows));
+  }
+
   net::ServerOptions options = net::ServerOptions::FromEnv();
   net::McsortServer server(&service, options);
   std::string error;
